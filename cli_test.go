@@ -1,0 +1,238 @@
+// CLI integration tests: every executable under cmd/ is built once and
+// driven through representative invocations, verifying flags, output shape,
+// and exit codes end to end.
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// buildCLIs compiles all commands into a shared temp dir, once per test run.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI integration tests build binaries")
+	}
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "repro-cli")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"faultsim", "modelcheck", "hierarchy", "experiments", "valency"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				buildErr = err
+				binDir = string(out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building CLIs: %v\n%s", buildErr, binDir)
+	}
+	return binDir
+}
+
+// runCLI executes a built tool and returns stdout+stderr and the exit code.
+func runCLI(t *testing.T, tool string, args ...string) (string, int) {
+	t.Helper()
+	dir := buildCLIs(t)
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v", tool, err)
+	}
+	return string(out), code
+}
+
+func TestCLIFaultsimTolerantRun(t *testing.T) {
+	out, code := runCLI(t, "faultsim",
+		"-proto", "figure2", "-f", "1", "-n", "3",
+		"-fault", "overriding", "-rate", "1", "-unbounded")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict  : OK") {
+		t.Errorf("missing OK verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "FAULT[overriding]") {
+		t.Errorf("trace shows no faults:\n%s", out)
+	}
+}
+
+func TestCLIFaultsimViolationExitCode(t *testing.T) {
+	out, code := runCLI(t, "faultsim",
+		"-proto", "figure1", "-n", "3", "-sched", "roundrobin",
+		"-fault", "overriding", "-rate", "1", "-unbounded", "-quiet")
+	if code != 1 {
+		t.Fatalf("want exit 1 on violation, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "VIOLATION") {
+		t.Errorf("missing violation verdict:\n%s", out)
+	}
+}
+
+func TestCLIFaultsimDiagram(t *testing.T) {
+	out, code := runCLI(t, "faultsim",
+		"-proto", "figure1", "-n", "2", "-diagram")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "DECIDE") || !strings.Contains(out, "p0") {
+		t.Errorf("diagram missing:\n%s", out)
+	}
+}
+
+func TestCLIFaultsimBadFlags(t *testing.T) {
+	if _, code := runCLI(t, "faultsim", "-proto", "nope"); code != 2 {
+		t.Errorf("bad protocol: exit %d, want 2", code)
+	}
+	if _, code := runCLI(t, "faultsim", "-sched", "nope"); code != 2 {
+		t.Errorf("bad scheduler: exit %d, want 2", code)
+	}
+	if _, code := runCLI(t, "faultsim", "-fault", "nope"); code != 2 {
+		t.Errorf("bad fault kind: exit %d, want 2", code)
+	}
+}
+
+func TestCLIModelcheckVerified(t *testing.T) {
+	out, code := runCLI(t, "modelcheck",
+		"-proto", "figure3", "-f", "1", "-t", "1", "-n", "2")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "VERIFIED") {
+		t.Errorf("missing VERIFIED:\n%s", out)
+	}
+	if !strings.Contains(out, "4356") {
+		t.Errorf("unexpected execution count:\n%s", out)
+	}
+}
+
+func TestCLIModelcheckViolation(t *testing.T) {
+	out, code := runCLI(t, "modelcheck",
+		"-proto", "figure3", "-f", "1", "-t", "1", "-n", "3", "-diagram")
+	if code != 1 {
+		t.Fatalf("want exit 1 on violation, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "VIOLATION (consistency)") {
+		t.Errorf("missing violation:\n%s", out)
+	}
+	if !strings.Contains(out, "DECIDE") {
+		t.Errorf("diagram missing:\n%s", out)
+	}
+}
+
+func TestCLIModelcheckJSON(t *testing.T) {
+	out, code := runCLI(t, "modelcheck",
+		"-proto", "figure1", "-n", "3", "-unbounded", "-json")
+	if code != 1 {
+		t.Fatalf("want exit 1, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, `"kind": "cas"`) {
+		t.Errorf("JSON trace missing:\n%s", out)
+	}
+}
+
+func TestCLIHierarchy(t *testing.T) {
+	out, code := runCLI(t, "hierarchy", "-maxf", "2", "-stress", "100", "-budget", "6000")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "all levels match the paper") {
+		t.Errorf("hierarchy mismatch:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsList(t *testing.T) {
+	out, code := runCLI(t, "experiments", "-list")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, id := range []string{"E1", "E5", "E10"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestCLIExperimentsSingleQuick(t *testing.T) {
+	out, code := runCLI(t, "experiments", "-run", "E5", "-quick")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "reproduced:") {
+		t.Errorf("missing reproduction line:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsUnknownID(t *testing.T) {
+	if _, code := runCLI(t, "experiments", "-run", "E99"); code != 2 {
+		t.Errorf("unknown id: exit %d, want 2", code)
+	}
+}
+
+func TestCLIValency(t *testing.T) {
+	out, code := runCLI(t, "valency", "-proto", "figure1", "-n", "2")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "multivalent") || !strings.Contains(out, "critical") {
+		t.Errorf("valency output incomplete:\n%s", out)
+	}
+}
+
+func TestCLIValencyPrefix(t *testing.T) {
+	out, code := runCLI(t, "valency", "-proto", "figure1", "-n", "2", "-prefix", "0")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "10-valent") {
+		t.Errorf("prefix state must be 10-valent:\n%s", out)
+	}
+}
+
+// Every runnable example must build and complete successfully; each prints
+// a success marker on its happy path.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example integration runs")
+	}
+	cases := map[string]string{
+		"quickstart":    "agreement reached",
+		"replicatedlog": "state machines identical",
+		"energysim":     "across the whole voltage curve",
+		"impossibility": "critical state found",
+		"kvstore":       "replay determinism verified",
+		"faultsweep":    "BROKEN",
+	}
+	for name, marker := range cases {
+		name, marker := name, marker
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), marker) {
+				t.Errorf("example %s output missing %q:\n%s", name, marker, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Command experiments regenerates every reproduction table of DESIGN.md /
+// EXPERIMENTS.md: one experiment per paper result (Figures 1–3, Theorems
+// 4–6, 18, 19, the consensus-hierarchy observation, the fault taxonomy, and
+// the cost measurements).
+//
+// Usage:
+//
+//	experiments               # run everything (full sweeps)
+//	experiments -run E5       # run one experiment
+//	experiments -quick        # smaller sweeps
+//	experiments -list         # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		runID = flag.String("run", "", "run only the experiment with this id (e.g. E3)")
+		quick = flag.Bool("quick", false, "smaller sweeps and sample counts")
+		seed  = flag.Int64("seed", 1, "seed for randomized components")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	opts := harness.Options{Quick: *quick, Seed: *seed}
+	if *runID != "" {
+		e, ok := harness.ByID(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", *runID)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s: %s ===\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
+		if err := e.Run(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s FAILED: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nreproduced: %s\n", e.Claim)
+		return
+	}
+
+	if err := harness.RunAll(os.Stdout, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

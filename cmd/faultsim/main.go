@@ -1,0 +1,172 @@
+// Command faultsim runs one simulated consensus execution under a chosen
+// protocol, scheduler, and fault configuration, printing the step-by-step
+// trace, the fault audit, and the consensus verdict.
+//
+// Examples:
+//
+//	faultsim -proto figure2 -f 1 -n 3 -fault overriding -rate 0.5 -seed 7
+//	faultsim -proto figure3 -f 2 -t 1 -n 3 -sched random -seed 3
+//	faultsim -proto figure1 -n 3 -fault overriding -rate 1 -unbounded
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/run"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+func main() {
+	var (
+		protoName = flag.String("proto", "figure2", "protocol: figure1 | figure2 | figure3 | silent-retry")
+		f         = flag.Int("f", 1, "fault parameter f (figure2/figure3)")
+		t         = flag.Int("t", 1, "per-object fault bound t (figure3) or total bound (silent-retry)")
+		n         = flag.Int("n", 3, "number of processes")
+		schedName = flag.String("sched", "roundrobin", "scheduler: roundrobin | random | solo")
+		seed      = flag.Int64("seed", 1, "seed for random scheduling and faults")
+		kindName  = flag.String("fault", "none", "fault kind: none | overriding | silent | invisible | arbitrary")
+		rate      = flag.Float64("rate", 0.5, "per-invocation fault probability")
+		unbounded = flag.Bool("unbounded", false, "unbounded faults per faulty object (t = ∞)")
+		faulty    = flag.Int("faulty", -1, "number of faulty objects (default: protocol's f, or all objects for figure3)")
+		quiet     = flag.Bool("quiet", false, "suppress the trace, print verdict only")
+		diagram   = flag.Bool("diagram", false, "render the trace as a space-time diagram instead of a list")
+	)
+	flag.Parse()
+
+	proto, err := buildProtocol(*protoName, *f, *t)
+	if err != nil {
+		fail(err)
+	}
+	sched, err := buildScheduler(*schedName, *seed, *n)
+	if err != nil {
+		fail(err)
+	}
+
+	inputs := make([]int64, *n)
+	for i := range inputs {
+		inputs[i] = int64(10 + i)
+	}
+
+	cfg := run.Config{
+		Protocol:  proto,
+		Inputs:    inputs,
+		Scheduler: sched,
+		Trace:     true,
+	}
+
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		fail(err)
+	}
+	if kind != fault.None {
+		numFaulty := *faulty
+		if numFaulty < 0 {
+			numFaulty = defaultFaultyObjects(*protoName, *f, proto)
+		}
+		perObject := *t
+		if *unbounded {
+			perObject = fault.Unbounded
+		}
+		ids := make([]int, numFaulty)
+		for i := range ids {
+			ids[i] = i
+		}
+		cfg.Budget = fault.NewFixedBudget(ids, perObject)
+		cfg.Policy = fault.WhenEffective(fault.Rate(kind, *rate, *seed))
+	}
+
+	res, err := run.Consensus(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	if !*quiet {
+		if *diagram {
+			fmt.Print(res.Sim.Log.Diagram())
+		} else {
+			fmt.Print(res.Sim.Log.String())
+		}
+		fmt.Println()
+	}
+	audit := spec.AuditTrace(res.Sim.Log)
+	fmt.Printf("protocol : %s (%d objects, step bound %d)\n", proto.Name(), proto.Objects(), proto.StepBound(*n))
+	fmt.Printf("audit    : %s\n", audit)
+	for _, id := range audit.FaultyObjects() {
+		fmt.Printf("           object %d: %d fault(s)\n", id, audit.ObjectFaults(id))
+	}
+	fmt.Printf("verdict  : %s\n", res.Verdict)
+	if !res.Verdict.OK() {
+		os.Exit(1)
+	}
+}
+
+func buildProtocol(name string, f, t int) (core.Protocol, error) {
+	switch strings.ToLower(name) {
+	case "figure1", "single":
+		return core.SingleCAS{}, nil
+	case "figure2", "fplusone":
+		return core.NewFPlusOne(f), nil
+	case "figure3", "staged":
+		return core.NewStaged(f, t), nil
+	case "silent-retry", "silent":
+		return core.NewSilentRetry(t), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func buildScheduler(name string, seed int64, n int) (sim.Scheduler, error) {
+	switch strings.ToLower(name) {
+	case "roundrobin", "rr":
+		return sim.NewRoundRobin(), nil
+	case "random", "rand":
+		return sim.NewRandom(seed), nil
+	case "solo":
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return sim.NewSolo(order...), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func parseKind(name string) (fault.Kind, error) {
+	switch strings.ToLower(name) {
+	case "none", "":
+		return fault.None, nil
+	case "overriding", "override":
+		return fault.Overriding, nil
+	case "silent":
+		return fault.Silent, nil
+	case "invisible":
+		return fault.Invisible, nil
+	case "arbitrary":
+		return fault.Arbitrary, nil
+	default:
+		return fault.None, fmt.Errorf("unknown fault kind %q", name)
+	}
+}
+
+func defaultFaultyObjects(protoName string, f int, proto core.Protocol) int {
+	switch strings.ToLower(protoName) {
+	case "figure3", "staged":
+		return proto.Objects() // all objects may be faulty (Theorem 6)
+	case "figure1", "single", "silent-retry", "silent":
+		return 1
+	default:
+		return f // figure2: f of the f+1 objects
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+	os.Exit(2)
+}

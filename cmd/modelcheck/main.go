@@ -1,0 +1,137 @@
+// Command modelcheck exhaustively explores the execution tree of a
+// consensus protocol under an (f, t) overriding/silent fault budget,
+// reporting either complete verification or a minimal counterexample trace.
+//
+// Examples:
+//
+//	modelcheck -proto figure3 -f 1 -t 1 -n 2            # Theorem 6, exhaustive
+//	modelcheck -proto figure3 -f 1 -t 1 -n 3            # Theorem 19 violation
+//	modelcheck -proto figure1 -n 3 -unbounded           # Theorem 18 violation
+//	modelcheck -proto silent-retry -t 2 -n 2 -fault silent
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/fault"
+)
+
+func main() {
+	var (
+		protoName = flag.String("proto", "figure3", "protocol: figure1 | figure2 | figure3 | silent-retry")
+		f         = flag.Int("f", 1, "fault parameter f")
+		t         = flag.Int("t", 1, "per-object fault bound t")
+		n         = flag.Int("n", 2, "number of processes")
+		kindName  = flag.String("fault", "overriding", "fault kind: overriding | silent")
+		unbounded = flag.Bool("unbounded", false, "unbounded faults per faulty object")
+		faulty    = flag.Int("faulty", -1, "number of faulty objects (default: all of the protocol's objects)")
+		maxExecs  = flag.Int("max", explore.DefaultMaxExecutions, "execution cap")
+		jsonOut   = flag.Bool("json", false, "emit the counterexample trace as JSON")
+		diagram   = flag.Bool("diagram", false, "render the counterexample as a space-time diagram")
+	)
+	flag.Parse()
+
+	var proto core.Protocol
+	switch strings.ToLower(*protoName) {
+	case "figure1", "single":
+		proto = core.SingleCAS{}
+	case "figure2", "fplusone":
+		proto = core.NewFPlusOne(*f)
+	case "figure3", "staged":
+		proto = core.NewStaged(*f, *t)
+	case "silent-retry", "silent":
+		proto = core.NewSilentRetry(*t)
+	default:
+		fmt.Fprintf(os.Stderr, "modelcheck: unknown protocol %q\n", *protoName)
+		os.Exit(2)
+	}
+
+	var kind fault.Kind
+	switch strings.ToLower(*kindName) {
+	case "overriding":
+		kind = fault.Overriding
+	case "silent":
+		kind = fault.Silent
+	default:
+		fmt.Fprintf(os.Stderr, "modelcheck: unsupported fault kind %q\n", *kindName)
+		os.Exit(2)
+	}
+
+	numFaulty := *faulty
+	if numFaulty < 0 {
+		numFaulty = proto.Objects()
+	}
+	ids := make([]int, numFaulty)
+	for i := range ids {
+		ids[i] = i
+	}
+	perObject := *t
+	if *unbounded {
+		perObject = fault.Unbounded
+	}
+
+	inputs := make([]int64, *n)
+	for i := range inputs {
+		inputs[i] = int64(10 + i)
+	}
+
+	out, err := explore.Check(explore.Config{
+		Protocol:        proto,
+		Inputs:          inputs,
+		FaultyObjects:   ids,
+		FaultsPerObject: perObject,
+		Kind:            kind,
+		MaxExecutions:   *maxExecs,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modelcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("protocol    : %s\n", proto.Name())
+	fmt.Printf("processes   : %d, faulty objects: %v, faults/object: %s\n",
+		*n, ids, tString(perObject))
+	fmt.Printf("executions  : %d (complete: %v)\n", out.Executions, out.Complete)
+	fmt.Printf("max steps   : %d per process, max faults: %d per execution\n",
+		out.MaxProcSteps, out.MaxFaults)
+
+	if out.Violation == nil {
+		if out.Complete {
+			fmt.Println("result      : VERIFIED — no execution violates consensus")
+		} else {
+			fmt.Println("result      : NO VIOLATION FOUND (cap reached; increase -max for certainty)")
+		}
+		return
+	}
+
+	fmt.Printf("result      : VIOLATION (%s)\n\n", out.Violation.Verdict.Violation)
+	if *diagram {
+		fmt.Print(out.Violation.Trace.Diagram())
+		fmt.Println()
+	}
+	if *jsonOut {
+		data, err := json.MarshalIndent(out.Violation.Trace, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelcheck: %v\n", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	} else {
+		fmt.Print(out.Violation.String())
+	}
+	os.Exit(1)
+}
+
+func tString(t int) string {
+	if t == fault.Unbounded {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", t)
+}

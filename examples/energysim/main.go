@@ -1,0 +1,107 @@
+// Energy-aware processor simulation: the paper's motivating scenario
+// (Sections 1 and 3.3) made concrete.
+//
+// A processor running near-threshold voltage saves energy but its CAS
+// comparator occasionally mis-evaluates — the overriding functional fault.
+// This example models a chip whose fault rate grows as the voltage drops,
+// and compares two deployments at each undervolt level:
+//
+//   - naive: the classic single-CAS consensus (correct only if the
+//     hardware is), and
+//   - hardened: Figure 2's construction over f+1 CAS registers, of which
+//     up to f sit in the undervolted domain.
+//
+// The hardened deployment holds consensus at every voltage; the naive one
+// starts disagreeing as soon as faults appear with three or more cores.
+//
+//	go run ./examples/energysim
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/run"
+	"repro/internal/sim"
+)
+
+// voltagePoint maps an undervolt level to an empirical comparator fault
+// rate (rates are illustrative: deeper undervolting, more soft errors).
+type voltagePoint struct {
+	millivolts int
+	faultRate  float64
+}
+
+var curve = []voltagePoint{
+	{900, 0.00}, // nominal: no faults
+	{800, 0.05},
+	{700, 0.15},
+	{600, 0.35},
+	{500, 0.60}, // near-threshold: faults dominate
+}
+
+func inputs(n int) []int64 {
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(40 + i)
+	}
+	return in
+}
+
+// trial runs `rounds` consensus instances at the given fault rate and
+// returns how many violated agreement or validity.
+func trial(proto core.Protocol, n int, faultyObjects []int, rate float64, rounds int) int {
+	violations := 0
+	for i := 0; i < rounds; i++ {
+		seed := int64(1000 + i)
+		var budget *fault.Budget
+		var policy fault.Policy
+		if rate > 0 {
+			budget = fault.NewFixedBudget(faultyObjects, fault.Unbounded)
+			policy = fault.WhenEffective(fault.Rate(fault.Overriding, rate, seed))
+		}
+		res, err := run.Consensus(run.Config{
+			Protocol:  proto,
+			Inputs:    inputs(n),
+			Scheduler: sim.NewRandom(seed),
+			Budget:    budget,
+			Policy:    policy,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if !res.Verdict.OK() {
+			violations++
+		}
+	}
+	return violations
+}
+
+func main() {
+	const (
+		cores  = 4
+		rounds = 400
+		f      = 1 // CAS registers in the undervolted power domain
+	)
+	naive := core.SingleCAS{}
+	hardened := core.NewFPlusOne(f)
+
+	fmt.Printf("%d cores, %d consensus rounds per voltage point\n", cores, rounds)
+	fmt.Printf("naive    = %s (1 register, in the undervolted domain)\n", naive.Name())
+	fmt.Printf("hardened = %s (%d registers, %d undervolted)\n\n",
+		hardened.Name(), hardened.Objects(), f)
+
+	fmt.Printf("%-8s %-12s %-18s %-18s\n", "voltage", "fault rate", "naive violations", "hardened violations")
+	for _, pt := range curve {
+		naiveViol := trial(naive, cores, []int{0}, pt.faultRate, rounds)
+		hardViol := trial(hardened, cores, []int{0}, pt.faultRate, rounds)
+		fmt.Printf("%-8s %-12.2f %-18d %-18d\n",
+			fmt.Sprintf("%dmV", pt.millivolts), pt.faultRate, naiveViol, hardViol)
+		if hardViol != 0 {
+			panic("hardened deployment violated consensus — outside its fault model?")
+		}
+	}
+	fmt.Println("\nthe hardened construction holds consensus across the whole voltage curve ✓")
+	fmt.Println("(the naive single register starts losing agreement as soon as the comparator degrades)")
+}

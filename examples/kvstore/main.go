@@ -1,0 +1,72 @@
+// Wait-free key-value store over faulty CAS: Herlihy universality end to
+// end. Writers race through the universal construction (announce + helping,
+// so no writer can be starved), each slot is consensus over CAS objects of
+// which one genuinely manifests overriding faults — and every reader
+// replays the same totally-ordered history.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/atomicx"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+func main() {
+	const (
+		writers   = 4
+		perWriter = 6
+		faultRate = 0.5
+	)
+
+	// Each consensus slot runs Figure 2 (f = 1) over a fresh pair of
+	// atomic CAS objects; object 0 of every slot overrides at 50%.
+	proto := core.NewFPlusOne(1)
+	var seed int64
+	var mu sync.Mutex
+	store := core.NewKVStore(writers, proto, func() core.Env {
+		mu.Lock()
+		seed++
+		s := seed
+		mu.Unlock()
+		return atomicx.NewFaultyBank(proto.Objects(),
+			fault.NewFixedBudget([]int{0}, fault.Unbounded), faultRate, s)
+	})
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Writers contend on overlapping keys.
+				key := int64((w + i) % 5)
+				store.Set(w, key, int64(10*w+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fmt.Printf("%d writers × %d ops through faulty-CAS consensus\n", writers, perWriter)
+	state := store.State()
+	fmt.Println("final state (identical for every reader):")
+	for k := int64(0); k < 5; k++ {
+		if v, ok := store.Get(k); ok {
+			fmt.Printf("  key %d = %d\n", k, v)
+		}
+	}
+
+	// Two independent replays must agree exactly — the replicated-state
+	// machine guarantee.
+	again := store.State()
+	for k, v := range state {
+		if again[k] != v {
+			panic("replays diverged — unreachable if consensus held")
+		}
+	}
+	fmt.Println("replay determinism verified ✓")
+}

@@ -1,0 +1,25 @@
+package adversary_test
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+)
+
+// The Theorem 19 covering execution, run against Figure 3 with one process
+// too many: p0 decides solo, the coverer buries its trace with one
+// overriding fault, and the prober decides something else.
+func ExampleCovering() {
+	proto := core.NewStaged(1, 1)                              // (f=1, t=1, n=2)-tolerant
+	res, err := adversary.Covering(proto, []int64{10, 11, 12}) // n = f+2
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Violated(), res.Verdict.Violation)
+	fmt.Println("covered objects:", res.Covered)
+	// Output:
+	// true consistency
+	// covered objects: [0]
+
+}

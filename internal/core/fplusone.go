@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// FPlusOne is the f-tolerant consensus of Figure 2 / Theorem 5: given at
+// most f faulty CAS objects — each with an unbounded number of overriding
+// faults — it implements consensus for any number of processes using f+1
+// CAS objects:
+//
+//	decide(val):
+//	    output ← val
+//	    for i = 0 to f do
+//	        old ← CAS(O_i, ⊥, output)
+//	        if old ≠ ⊥ then output ← old
+//	    return output
+//
+// Correctness hinges on at least one object being non-faulty: the first
+// value written to a non-faulty object sticks, and every process adopts it
+// when passing that object. Theorem 18 shows f+1 objects are necessary, so
+// the construction is tight.
+type FPlusOne struct {
+	// F is the maximum number of faulty objects tolerated (f ≥ 1).
+	F int
+}
+
+// NewFPlusOne returns the Figure 2 protocol tolerating f faulty objects.
+func NewFPlusOne(f int) FPlusOne {
+	if f < 0 {
+		panic("core: negative fault bound")
+	}
+	return FPlusOne{F: f}
+}
+
+// Name implements Protocol.
+func (p FPlusOne) Name() string { return fmt.Sprintf("figure2/f-plus-one(f=%d)", p.F) }
+
+// Objects implements Protocol: f+1 CAS objects.
+func (p FPlusOne) Objects() int { return p.F + 1 }
+
+// MaxProcs implements Protocol: unbounded (the construction is
+// (f, ∞, ∞)-tolerant).
+func (p FPlusOne) MaxProcs() int { return 0 }
+
+// StepBound implements Protocol: exactly f+1 CAS steps.
+func (p FPlusOne) StepBound(int) int { return p.F + 1 }
+
+// Decide implements Protocol. It is a literal transcription of Figure 2.
+func (p FPlusOne) Decide(env Env, input int64) int64 {
+	ValidateInput(input)
+	output := word.FromValue(input)
+	for i := 0; i <= p.F; i++ {
+		old := env.CAS(i, word.Bottom, output)
+		if !old.IsBottom() {
+			output = old
+		}
+	}
+	return output.Value()
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Log is a replicated command log ordered by consensus — the classic
+// application the paper's introduction motivates (blockchain, reliable
+// distributed storage): each slot of the log is decided by one single-shot
+// consensus instance built from (possibly faulty) CAS objects, so the log
+// stays consistent across appenders even when the underlying CAS objects
+// manifest overriding faults within the protocol's (f, t, n) tolerance.
+//
+// Herlihy's universality result (Section 2 of the paper) says consensus
+// objects implement any wait-free object; Log is the standard state-machine
+// instance of that construction. Append is lock-free rather than wait-free:
+// an appender that loses a slot helps decide it and retries on the next —
+// bounded in practice, unbounded only under perpetual contention.
+//
+// Commands must be unique across appenders (an appender recognizes victory
+// by seeing its own command decided); EncodeCmd packs a proposer id and a
+// payload into a unique command word.
+type Log struct {
+	proto  Protocol
+	newEnv func() Env
+
+	mu      sync.Mutex
+	slots   []*logSlot
+	decided []int64 // cache of agreed values, index-aligned with slots
+	prefix  int     // length of the known-decided prefix
+}
+
+type logSlot struct {
+	env Env
+
+	mu   sync.Mutex
+	done bool
+	val  int64
+}
+
+// NewLog builds a log whose slots run the given protocol over environments
+// produced by newEnv (one fresh environment — typically an atomicx bank,
+// possibly faulty — per slot). The number of concurrent appenders must not
+// exceed the protocol's MaxProcs (0 = unbounded).
+func NewLog(proto Protocol, newEnv func() Env) *Log {
+	if proto == nil || newEnv == nil {
+		panic("core: NewLog needs a protocol and an environment factory")
+	}
+	return &Log{proto: proto, newEnv: newEnv}
+}
+
+// slot returns the i-th slot, growing the log as needed.
+func (l *Log) slot(i int) *logSlot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.slots) <= i {
+		l.slots = append(l.slots, &logSlot{env: l.newEnv()})
+		l.decided = append(l.decided, -1)
+	}
+	return l.slots[i]
+}
+
+// decide runs (or joins) the slot's consensus with the given proposal and
+// returns the agreed value.
+func (s *logSlot) decide(proto Protocol, proposal int64) int64 {
+	// Fast path: already known decided (every consensus participant
+	// observed the same value, so caching is sound).
+	s.mu.Lock()
+	if s.done {
+		v := s.val
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+
+	v := proto.Decide(s.env, proposal)
+
+	s.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.val = v
+	}
+	v = s.val
+	s.mu.Unlock()
+	return v
+}
+
+// Append proposes cmd for the earliest undecided slot, retrying on later
+// slots until cmd wins one, and returns the index it was decided into.
+// Commands are unique and proposed only by their own appender, so slots in
+// the already-decided prefix can never hold cmd and are skipped.
+func (l *Log) Append(cmd int64) int {
+	ValidateInput(cmd)
+	l.mu.Lock()
+	start := l.prefix
+	l.mu.Unlock()
+	for i := start; ; i++ {
+		s := l.slot(i)
+		dec := s.decide(l.proto, cmd)
+		l.mu.Lock()
+		if l.decided[i] < 0 {
+			l.decided[i] = dec
+			for l.prefix < len(l.decided) && l.decided[l.prefix] >= 0 {
+				l.prefix++
+			}
+		}
+		l.mu.Unlock()
+		if dec == cmd {
+			return i
+		}
+	}
+}
+
+// Get returns the decided command of slot i, if that slot is known decided.
+func (l *Log) Get(i int) (int64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i < 0 || i >= len(l.decided) || l.decided[i] < 0 {
+		return 0, false
+	}
+	return l.decided[i], true
+}
+
+// Len returns the number of slots known decided from the start of the log.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.prefix
+}
+
+// Snapshot returns the decided prefix of the log.
+func (l *Log) Snapshot() []int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []int64
+	for _, v := range l.decided {
+		if v < 0 {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+const cmdPayloadBits = 23
+
+// MaxCmdPayload is the largest payload EncodeCmd accepts.
+const MaxCmdPayload = 1<<cmdPayloadBits - 1
+
+// EncodeCmd packs a proposer id (0..255) and a payload (0..MaxCmdPayload)
+// into a command value that is unique per (proposer, payload) pair and fits
+// a register word.
+func EncodeCmd(proposer int, payload int64) int64 {
+	if proposer < 0 || proposer > 255 {
+		panic(fmt.Sprintf("core: proposer %d out of range [0,255]", proposer))
+	}
+	if payload < 0 || payload > MaxCmdPayload {
+		panic(fmt.Sprintf("core: payload %d out of range [0,%d]", payload, MaxCmdPayload))
+	}
+	return int64(proposer)<<cmdPayloadBits | payload
+}
+
+// DecodeCmd unpacks a command produced by EncodeCmd.
+func DecodeCmd(cmd int64) (proposer int, payload int64) {
+	return int(cmd >> cmdPayloadBits), cmd & MaxCmdPayload
+}

@@ -1,0 +1,163 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/atomicx"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+func newReliableLog(proto core.Protocol) *core.Log {
+	return core.NewLog(proto, func() core.Env {
+		return atomicx.NewBank(proto.Objects())
+	})
+}
+
+func TestLogSingleAppender(t *testing.T) {
+	l := newReliableLog(core.SingleCAS{})
+	for i := int64(0); i < 5; i++ {
+		idx := l.Append(core.EncodeCmd(0, i))
+		if idx != int(i) {
+			t.Errorf("append %d landed at %d", i, idx)
+		}
+	}
+	if l.Len() != 5 {
+		t.Errorf("Len = %d, want 5", l.Len())
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := l.Get(i)
+		if !ok {
+			t.Fatalf("slot %d unknown", i)
+		}
+		p, payload := core.DecodeCmd(v)
+		if p != 0 || payload != int64(i) {
+			t.Errorf("slot %d = (%d,%d)", i, p, payload)
+		}
+	}
+}
+
+func TestLogGetUnknownSlot(t *testing.T) {
+	l := newReliableLog(core.SingleCAS{})
+	if _, ok := l.Get(0); ok {
+		t.Error("empty log must not know slot 0")
+	}
+	if _, ok := l.Get(-1); ok {
+		t.Error("negative index must not resolve")
+	}
+}
+
+func TestLogConcurrentAppendersTotalOrder(t *testing.T) {
+	// Several goroutines append concurrently through faulty-CAS
+	// consensus; every command must land in exactly one slot and all
+	// appends must be present.
+	proto := core.NewFPlusOne(1)
+	l := core.NewLog(proto, func() core.Env {
+		return atomicx.NewFaultyBank(proto.Objects(),
+			fault.NewFixedBudget([]int{0}, fault.Unbounded), 0.4, 99)
+	})
+
+	const appenders = 4
+	const perAppender = 10
+	var wg sync.WaitGroup
+	indices := make([][]int, appenders)
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := int64(0); i < perAppender; i++ {
+				idx := l.Append(core.EncodeCmd(a, i))
+				indices[a] = append(indices[a], idx)
+			}
+		}(a)
+	}
+	wg.Wait()
+
+	total := appenders * perAppender
+	if l.Len() != total {
+		t.Fatalf("log length %d, want %d", l.Len(), total)
+	}
+	seen := map[int64]int{}
+	for i := 0; i < total; i++ {
+		v, ok := l.Get(i)
+		if !ok {
+			t.Fatalf("slot %d undecided", i)
+		}
+		seen[v]++
+	}
+	if len(seen) != total {
+		t.Fatalf("log holds %d distinct commands, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Errorf("command %d appears %d times", v, n)
+		}
+	}
+	// Per-appender indices are strictly increasing (program order holds).
+	for a := 0; a < appenders; a++ {
+		for i := 1; i < len(indices[a]); i++ {
+			if indices[a][i] <= indices[a][i-1] {
+				t.Errorf("appender %d indices not increasing: %v", a, indices[a])
+			}
+		}
+	}
+}
+
+func TestLogSnapshotPrefix(t *testing.T) {
+	l := newReliableLog(core.SingleCAS{})
+	l.Append(core.EncodeCmd(0, 1))
+	l.Append(core.EncodeCmd(0, 2))
+	snap := l.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot length %d", len(snap))
+	}
+}
+
+func TestEncodeDecodeCmd(t *testing.T) {
+	for _, c := range []struct {
+		proposer int
+		payload  int64
+	}{{0, 0}, {3, 17}, {255, core.MaxCmdPayload}} {
+		cmd := core.EncodeCmd(c.proposer, c.payload)
+		p, v := core.DecodeCmd(cmd)
+		if p != c.proposer || v != c.payload {
+			t.Errorf("EncodeCmd(%d,%d) round-tripped to (%d,%d)", c.proposer, c.payload, p, v)
+		}
+	}
+}
+
+func TestEncodeCmdUniqueAcrossProposers(t *testing.T) {
+	a := core.EncodeCmd(1, 5)
+	b := core.EncodeCmd(2, 5)
+	if a == b {
+		t.Error("same payload from different proposers must differ")
+	}
+}
+
+func TestEncodeCmdValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"proposer -1":   func() { core.EncodeCmd(-1, 0) },
+		"proposer 256":  func() { core.EncodeCmd(256, 0) },
+		"payload -1":    func() { core.EncodeCmd(0, -1) },
+		"payload large": func() { core.EncodeCmd(0, core.MaxCmdPayload+1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewLogValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil factory must panic")
+		}
+	}()
+	core.NewLog(core.SingleCAS{}, nil)
+}

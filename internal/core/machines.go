@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file makes Herlihy's universality theorem concrete: ANY sequential
+// object can be made wait-free and fault-tolerant by layering its state
+// machine over the Universal construction (which in turn runs on possibly
+// faulty CAS objects). Counter and KVStore are the two classic exhibits.
+//
+// Determinism is the only requirement on the state machine: every process
+// replays the same decided command prefix, so all replicas compute the same
+// state (the replicatedlog example shows the same discipline end to end).
+
+// opKind discriminates the commands of the machines below inside the
+// command payload: 1 payload bit for the kind leaves 22 bits of argument.
+const (
+	opCounterAdd = 0
+	opKVSet      = 1
+)
+
+// machineCmd packs (kind, argument) into a command payload.
+func machineCmd(kind int, arg int64) int64 {
+	return int64(kind)<<22 | (arg & (1<<22 - 1))
+}
+
+func splitMachineCmd(payload int64) (kind int, arg int64) {
+	return int(payload >> 22), payload & (1<<22 - 1)
+}
+
+// Counter is a wait-free fault-tolerant counter: Add operations are ordered
+// by consensus, and Value replays the decided prefix. Multiple processes
+// (ids 0..n-1, at most the protocol's MaxProcs) may Add concurrently.
+type Counter struct {
+	u *Universal
+
+	mu   sync.Mutex
+	seqs []int64 // per-process command sequence numbers
+}
+
+// NewCounter builds a counter for n processes over the given consensus
+// protocol and environment factory.
+func NewCounter(n int, proto Protocol, newEnv func() Env) *Counter {
+	return &Counter{u: NewUniversal(n, proto, newEnv), seqs: make([]int64, n)}
+}
+
+// Add appends an increment of delta (0..1023) by the given process.
+func (c *Counter) Add(proc int, delta int64) {
+	if delta < 0 || delta > 1023 {
+		panic(fmt.Sprintf("core: counter delta %d out of range [0,1023]", delta))
+	}
+	c.mu.Lock()
+	seq := c.seqs[proc]
+	c.seqs[proc]++
+	c.mu.Unlock()
+	if seq > 4095 {
+		panic("core: counter sequence space exhausted (4096 ops/process)")
+	}
+	// The sequence number makes the command unique; the delta rides in
+	// the low bits. arg layout: seq(12 bits) | delta(10 bits).
+	c.u.Execute(proc, EncodeCmd(proc, machineCmd(opCounterAdd, seq<<10|delta)))
+}
+
+// Value replays the decided prefix and returns the counter value.
+func (c *Counter) Value() int64 {
+	var total int64
+	for _, cmd := range c.u.Snapshot() {
+		_, payload := DecodeCmd(cmd)
+		kind, arg := splitMachineCmd(payload)
+		if kind == opCounterAdd {
+			total += arg & 1023
+		}
+	}
+	return total
+}
+
+// Ops returns the number of decided operations.
+func (c *Counter) Ops() int { return c.u.Len() }
+
+// KVStore is a wait-free fault-tolerant key-value store (last-writer-wins
+// per key, writes totally ordered by consensus).
+type KVStore struct {
+	u *Universal
+
+	mu   sync.Mutex
+	seqs []int64
+}
+
+// NewKVStore builds a store for n processes.
+func NewKVStore(n int, proto Protocol, newEnv func() Env) *KVStore {
+	return &KVStore{u: NewUniversal(n, proto, newEnv), seqs: make([]int64, n)}
+}
+
+// Set writes value (0..127) under key (0..127) on behalf of proc.
+func (s *KVStore) Set(proc int, key, value int64) {
+	if key < 0 || key > 127 || value < 0 || value > 127 {
+		panic(fmt.Sprintf("core: kv (%d,%d) out of range [0,127]", key, value))
+	}
+	s.mu.Lock()
+	seq := s.seqs[proc]
+	s.seqs[proc]++
+	s.mu.Unlock()
+	if seq > 255 {
+		panic("core: kv sequence space exhausted (256 ops/process)")
+	}
+	// arg layout: seq(8) | key(7) | value(7).
+	arg := seq<<14 | key<<7 | value
+	s.u.Execute(proc, EncodeCmd(proc, machineCmd(opKVSet, arg)))
+}
+
+// Get replays the decided prefix and returns the latest value for key.
+func (s *KVStore) Get(key int64) (int64, bool) {
+	var val int64
+	found := false
+	for _, cmd := range s.u.Snapshot() {
+		_, payload := DecodeCmd(cmd)
+		kind, arg := splitMachineCmd(payload)
+		if kind != opKVSet {
+			continue
+		}
+		k := arg >> 7 & 127
+		if k == key {
+			val = arg & 127
+			found = true
+		}
+	}
+	return val, found
+}
+
+// State replays the decided prefix into a full key→value map.
+func (s *KVStore) State() map[int64]int64 {
+	state := make(map[int64]int64)
+	for _, cmd := range s.u.Snapshot() {
+		_, payload := DecodeCmd(cmd)
+		kind, arg := splitMachineCmd(payload)
+		if kind == opKVSet {
+			state[arg>>7&127] = arg & 127
+		}
+	}
+	return state
+}

@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/atomicx"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+func faultyEnvFactory(proto core.Protocol, seed int64) func() core.Env {
+	var mu sync.Mutex
+	s := seed
+	return func() core.Env {
+		mu.Lock()
+		s++
+		cur := s
+		mu.Unlock()
+		return atomicx.NewFaultyBank(proto.Objects(),
+			fault.NewFixedBudget([]int{0}, fault.Unbounded), 0.4, cur)
+	}
+}
+
+func TestCounterSequential(t *testing.T) {
+	proto := core.SingleCAS{}
+	c := core.NewCounter(1, proto, func() core.Env { return atomicx.NewBank(proto.Objects()) })
+	for i := int64(1); i <= 5; i++ {
+		c.Add(0, i)
+	}
+	if got := c.Value(); got != 15 {
+		t.Errorf("Value = %d, want 15", got)
+	}
+	if c.Ops() != 5 {
+		t.Errorf("Ops = %d, want 5", c.Ops())
+	}
+}
+
+func TestCounterConcurrentOverFaultyCAS(t *testing.T) {
+	const n = 3
+	const perProc = 10
+	proto := core.NewFPlusOne(1)
+	c := core.NewCounter(n, proto, faultyEnvFactory(proto, 400))
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				c.Add(p, 1)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := c.Value(); got != n*perProc {
+		t.Errorf("Value = %d, want %d", got, n*perProc)
+	}
+}
+
+func TestCounterDeltaValidation(t *testing.T) {
+	proto := core.SingleCAS{}
+	c := core.NewCounter(1, proto, func() core.Env { return atomicx.NewBank(proto.Objects()) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range delta must panic")
+		}
+	}()
+	c.Add(0, 5000)
+}
+
+func TestKVStoreSequential(t *testing.T) {
+	proto := core.SingleCAS{}
+	s := core.NewKVStore(1, proto, func() core.Env { return atomicx.NewBank(proto.Objects()) })
+	s.Set(0, 1, 10)
+	s.Set(0, 2, 20)
+	s.Set(0, 1, 11) // overwrite
+
+	if v, ok := s.Get(1); !ok || v != 11 {
+		t.Errorf("Get(1) = %d,%v, want 11", v, ok)
+	}
+	if v, ok := s.Get(2); !ok || v != 20 {
+		t.Errorf("Get(2) = %d,%v", v, ok)
+	}
+	if _, ok := s.Get(3); ok {
+		t.Error("unset key must miss")
+	}
+	state := s.State()
+	if len(state) != 2 || state[1] != 11 || state[2] != 20 {
+		t.Errorf("State = %v", state)
+	}
+}
+
+func TestKVStoreConcurrentLastWriterWins(t *testing.T) {
+	const n = 3
+	proto := core.NewFPlusOne(1)
+	s := core.NewKVStore(n, proto, faultyEnvFactory(proto, 700))
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := int64(0); i < 8; i++ {
+				s.Set(p, i%4, int64(p)*10+i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Every key 0..3 must hold SOME written value, and all replicas
+	// (replays) agree because replay is a pure function of the log.
+	a, b := s.State(), s.State()
+	for k := int64(0); k < 4; k++ {
+		if _, ok := a[k]; !ok {
+			t.Errorf("key %d missing", k)
+		}
+		if a[k] != b[k] {
+			t.Errorf("replays disagree at key %d", k)
+		}
+	}
+}
+
+func TestKVStoreValidation(t *testing.T) {
+	proto := core.SingleCAS{}
+	s := core.NewKVStore(1, proto, func() core.Env { return atomicx.NewBank(proto.Objects()) })
+	for name, fn := range map[string]func(){
+		"key range":   func() { s.Set(0, 200, 1) },
+		"value range": func() { s.Set(0, 1, 200) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

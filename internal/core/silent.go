@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// SilentRetry tolerates the silent CAS fault of Section 3.4 — the new value
+// is not written even though the register content equals the expected value
+// — on a single CAS object, provided the total number of faults is bounded.
+// As the paper observes, "each process can execute the original protocol
+// presented in [26], until one process succeeds and an output is chosen":
+//
+//	decide(val):
+//	    repeat
+//	        old ← CAS(O, ⊥, val)
+//	        if old ≠ ⊥ then return old
+//	    forever
+//
+// A silent fault leaves the register at ⊥ and returns ⊥ (the old value is
+// correct), so a process simply retries. After at most B faults some write
+// lands, every later CAS observes a non-⊥ content, and all processes adopt
+// the first landed value. With an unbounded number of faults the loop never
+// terminates — the paper's liveness counterexample, demonstrated in
+// experiment E7.
+type SilentRetry struct {
+	// B is the bound on the total number of silent faults on the object.
+	B int
+}
+
+// NewSilentRetry returns the retry protocol tolerating B silent faults.
+func NewSilentRetry(b int) SilentRetry {
+	if b < 0 {
+		panic("core: negative fault bound")
+	}
+	return SilentRetry{B: b}
+}
+
+// Name implements Protocol.
+func (p SilentRetry) Name() string { return fmt.Sprintf("silent-retry(B=%d)", p.B) }
+
+// Objects implements Protocol: one CAS object.
+func (p SilentRetry) Objects() int { return 1 }
+
+// MaxProcs implements Protocol: unbounded.
+func (p SilentRetry) MaxProcs() int { return 0 }
+
+// StepBound implements Protocol: a process retries only while the register
+// is ⊥, which can persist through at most B faulted writes plus its own
+// first successful write, observed one step later.
+func (p SilentRetry) StepBound(int) int { return p.B + 2 }
+
+// Decide implements Protocol.
+func (p SilentRetry) Decide(env Env, input int64) int64 {
+	ValidateInput(input)
+	val := word.FromValue(input)
+	for {
+		old := env.CAS(0, word.Bottom, val)
+		if !old.IsBottom() {
+			return old.Value()
+		}
+		// old = ⊥: either our write landed (the next CAS will observe
+		// it) or a silent fault swallowed it (retry).
+	}
+}

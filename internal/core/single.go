@@ -1,0 +1,43 @@
+package core
+
+import "repro/internal/word"
+
+// SingleCAS is the classic consensus protocol from one CAS object
+// (Herlihy 1991), reproduced as Figure 1 of the paper:
+//
+//	decide(val):
+//	    old ← CAS(O, ⊥, val)
+//	    if old ≠ ⊥ then return old
+//	    else return val
+//
+// Without faults it solves consensus for any number of processes (the
+// consensus number of CAS is ∞). Theorem 4 shows it remains correct for two
+// processes even when the object manifests unboundedly many overriding
+// faults — the returned old value is correct even on a faulty execution, and
+// with only two processes that is enough. Theorem 18 implies it is NOT
+// fault-tolerant for three or more processes; experiment E4 exhibits the
+// violating execution.
+type SingleCAS struct{}
+
+// Name implements Protocol.
+func (SingleCAS) Name() string { return "figure1/single-cas" }
+
+// Objects implements Protocol: one CAS object.
+func (SingleCAS) Objects() int { return 1 }
+
+// MaxProcs implements Protocol: fault-tolerant for two processes
+// (Theorem 4). Fault-free it handles any number.
+func (SingleCAS) MaxProcs() int { return 2 }
+
+// StepBound implements Protocol: a single CAS step.
+func (SingleCAS) StepBound(int) int { return 1 }
+
+// Decide implements Protocol.
+func (SingleCAS) Decide(env Env, input int64) int64 {
+	ValidateInput(input)
+	old := env.CAS(0, word.Bottom, word.FromValue(input))
+	if !old.IsBottom() {
+		return old.Value()
+	}
+	return input
+}

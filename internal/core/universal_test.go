@@ -1,0 +1,155 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/atomicx"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+func newUniversal(n int, proto core.Protocol) *core.Universal {
+	return core.NewUniversal(n, proto, func() core.Env {
+		return atomicx.NewBank(proto.Objects())
+	})
+}
+
+func TestUniversalSequential(t *testing.T) {
+	u := newUniversal(2, core.SingleCAS{})
+	for i := int64(0); i < 6; i++ {
+		slot := u.Execute(0, core.EncodeCmd(0, i))
+		if slot != int(i) {
+			t.Errorf("command %d landed at slot %d", i, slot)
+		}
+	}
+	if u.Len() != 6 {
+		t.Errorf("Len = %d", u.Len())
+	}
+	snap := u.Snapshot()
+	for i, cmd := range snap {
+		_, payload := core.DecodeCmd(cmd)
+		if payload != int64(i) {
+			t.Errorf("slot %d holds payload %d", i, payload)
+		}
+	}
+}
+
+func TestUniversalGet(t *testing.T) {
+	u := newUniversal(2, core.SingleCAS{})
+	cmd := core.EncodeCmd(1, 9)
+	slot := u.Execute(1, cmd)
+	got, ok := u.Get(slot)
+	if !ok || got != cmd {
+		t.Fatalf("Get(%d) = %d,%v", slot, got, ok)
+	}
+	if _, ok := u.Get(slot + 1); ok {
+		t.Error("undecided slot must not resolve")
+	}
+	if _, ok := u.Get(-1); ok {
+		t.Error("negative slot must not resolve")
+	}
+}
+
+func TestUniversalConcurrentTotalOrder(t *testing.T) {
+	const n = 4
+	const perProc = 12
+	proto := core.NewFPlusOne(1)
+	u := core.NewUniversal(n, proto, func() core.Env {
+		return atomicx.NewFaultyBank(proto.Objects(),
+			fault.NewFixedBudget([]int{0}, fault.Unbounded), 0.4, 31)
+	})
+
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := int64(0); i < perProc; i++ {
+				u.Execute(p, core.EncodeCmd(p, i))
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	total := n * perProc
+	if u.Len() < total {
+		t.Fatalf("decided prefix %d, want at least %d", u.Len(), total)
+	}
+	// Every command appears exactly once; helpers may also have decided
+	// slots for commands, but never duplicated them.
+	seen := map[int64]int{}
+	for _, cmd := range u.Snapshot() {
+		seen[cmd]++
+	}
+	for cmd, count := range seen {
+		if count != 1 {
+			t.Errorf("command %d decided into %d slots", cmd, count)
+		}
+	}
+	if len(seen) != u.Len() {
+		t.Errorf("%d distinct commands over %d slots", len(seen), u.Len())
+	}
+	// All submitted commands are present.
+	for p := 0; p < n; p++ {
+		for i := int64(0); i < perProc; i++ {
+			if seen[core.EncodeCmd(p, i)] != 1 {
+				t.Errorf("command (%d,%d) missing", p, i)
+			}
+		}
+	}
+	// Program order per process is preserved in the log.
+	pos := map[int64]int{}
+	for i, cmd := range u.Snapshot() {
+		pos[cmd] = i
+	}
+	for p := 0; p < n; p++ {
+		for i := int64(1); i < perProc; i++ {
+			if pos[core.EncodeCmd(p, i)] <= pos[core.EncodeCmd(p, i-1)] {
+				t.Errorf("process %d: op %d decided before op %d", p, i, i-1)
+			}
+		}
+	}
+}
+
+func TestUniversalHelpingDecidesAnnouncedCommand(t *testing.T) {
+	// A command announced by a process that never competes again is
+	// still appended by the helpers: process 1 announces via Execute in
+	// a goroutine racing process 0's stream; both finish, which already
+	// exercises helping, but we additionally verify slot ownership —
+	// slots ≡ 1 (mod 2) prioritize process 1's announcements.
+	const stream = 16
+	u := newUniversal(2, core.SingleCAS{})
+	done := make(chan int, 1)
+	go func() {
+		done <- u.Execute(1, core.EncodeCmd(1, 0))
+	}()
+	for i := int64(0); i < stream; i++ {
+		u.Execute(0, core.EncodeCmd(0, i))
+	}
+	slot := <-done
+	if got, _ := u.Get(slot); got != core.EncodeCmd(1, 0) {
+		t.Fatalf("announced command not at its slot: %d", got)
+	}
+}
+
+func TestUniversalValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero procs":   func() { core.NewUniversal(0, core.SingleCAS{}, func() core.Env { return atomicx.NewBank(1) }) },
+		"nil factory":  func() { core.NewUniversal(1, core.SingleCAS{}, nil) },
+		"nil protocol": func() { core.NewUniversal(1, nil, func() core.Env { return atomicx.NewBank(1) }) },
+		"bad proc": func() {
+			u := newUniversal(2, core.SingleCAS{})
+			u.Execute(5, core.EncodeCmd(0, 1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

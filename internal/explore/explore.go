@@ -1,0 +1,266 @@
+// Package explore is a bounded, exhaustive model checker for consensus
+// executions in the functional-fault model.
+//
+// An execution of the simulator is a pure function of the protocol, the
+// inputs, the scheduler's choices, and the fault choices (Definition 1
+// faults fire only at operation boundaries, so a binary choice per
+// admissible, observable CAS captures the entire adversary). The checker
+// therefore enumerates the execution tree by stateless replay: each run is
+// driven by a choice path; after the run, the deepest branch point with an
+// untaken alternative is advanced (depth-first, odometer style) and the
+// execution is replayed from scratch. Wait-freedom of the protocols makes
+// every path finite, so for small configurations the enumeration is
+// complete — an empirical proof of the paper's possibility theorems, and a
+// counterexample finder for its impossibility theorems.
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/object"
+	"repro/internal/run"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config describes the space of executions to explore.
+type Config struct {
+	// Protocol under test. Required.
+	Protocol core.Protocol
+	// Inputs holds one input per process. Required.
+	Inputs []int64
+	// FaultyObjects is the set of object ids the adversary may fault
+	// (the paper's "at most f faulty objects", committed up front).
+	// Empty means fault-free exploration.
+	FaultyObjects []int
+	// FaultsPerObject is the per-object fault bound t (fault.Unbounded
+	// for t = ∞). Ignored when FaultyObjects is empty.
+	FaultsPerObject int
+	// Kind is the functional fault to inject; Overriding and Silent are
+	// supported (the two one-sided branch faults of Sections 3.3–3.4).
+	// Defaults to Overriding.
+	Kind fault.Kind
+	// FixedPolicy, when non-nil, replaces the checker's per-invocation
+	// fault choices with a deterministic policy (still subject to the
+	// budget), so only scheduling is explored. The reduced model of
+	// Theorem 18 — one process whose CAS executions are always faulty —
+	// is expressed this way.
+	FixedPolicy fault.Policy
+	// MaxExecutions caps the enumeration. 0 means DefaultMaxExecutions.
+	MaxExecutions int
+	// StepLimit overrides the protocol's per-process step bound.
+	StepLimit int
+}
+
+// DefaultMaxExecutions bounds the enumeration when Config.MaxExecutions is 0.
+const DefaultMaxExecutions = 200_000
+
+// Counterexample is a violating execution, replayable via its Path (with
+// the same Config) or its Schedule (with a sim.Script and scripted faults).
+type Counterexample struct {
+	// Path is the choice sequence driving the violating execution.
+	Path []int
+	// Schedule is the sequence of process ids granted steps, in order.
+	Schedule []int
+	// Verdict describes the violated requirement.
+	Verdict run.Verdict
+	// Trace is the full event log of the violating execution.
+	Trace *trace.Log
+	// Inputs are the process inputs of the execution.
+	Inputs []int64
+}
+
+func (c *Counterexample) String() string {
+	return fmt.Sprintf("counterexample (%d steps): %s\nschedule: %v\ntrace:\n%s",
+		len(c.Schedule), c.Verdict.String(), c.Schedule, c.Trace)
+}
+
+// Outcome summarizes an exploration.
+type Outcome struct {
+	// Executions is the number of complete executions enumerated.
+	Executions int
+	// Complete reports that the entire execution tree was enumerated
+	// (no violation found and the cap was not hit).
+	Complete bool
+	// Violation is the first violating execution found, or nil.
+	Violation *Counterexample
+	// MaxProcSteps is the largest per-process step count observed.
+	MaxProcSteps int
+	// MaxFaults is the largest total fault count observed in a run.
+	MaxFaults int
+}
+
+// OK reports that no violation was found.
+func (o *Outcome) OK() bool { return o.Violation == nil }
+
+// chooser drives one replayed execution along a fixed decision prefix,
+// extending it with first-branch (0) decisions and recording each branch
+// point's arity for backtracking.
+type chooser struct {
+	path  []int
+	arity []int
+	pos   int
+}
+
+func (c *chooser) choose(n int) int {
+	if n < 1 {
+		panic("explore: choose with no alternatives")
+	}
+	if c.pos == len(c.path) {
+		c.path = append(c.path, 0)
+	}
+	pick := c.path[c.pos]
+	if pick >= n {
+		// The prefix came from a previous run whose tree shape matched
+		// up to here; a deterministic system never shrinks an arity on
+		// the same prefix.
+		panic(fmt.Sprintf("explore: stale choice %d of %d at position %d", pick, n, c.pos))
+	}
+	c.arity = append(c.arity, n)
+	c.pos++
+	return pick
+}
+
+// next advances the path depth-first: it truncates to the deepest branch
+// point with an untaken alternative and increments it. It returns false when
+// the tree is exhausted.
+func (c *chooser) next() bool {
+	i := len(c.path) - 1
+	for i >= 0 && c.path[i]+1 >= c.arity[i] {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	c.path = c.path[:i+1]
+	c.path[i]++
+	return true
+}
+
+// observable reports whether injecting the fault kind on this invocation
+// would violate the CAS postconditions Φ (Definition 1); unobservable
+// injections are not faults and would only bloat the tree.
+func observable(kind fault.Kind, op fault.Op) bool {
+	switch kind {
+	case fault.Overriding:
+		return op.Current != op.Exp && op.New != op.Current
+	case fault.Silent:
+		return op.Current == op.Exp && op.New != op.Current
+	default:
+		return false
+	}
+}
+
+// Check exhaustively explores the execution tree and returns the outcome.
+func Check(cfg Config) (*Outcome, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("explore: no protocol")
+	}
+	if len(cfg.Inputs) == 0 {
+		return nil, fmt.Errorf("explore: no inputs")
+	}
+	kind := cfg.Kind
+	if kind == fault.None {
+		kind = fault.Overriding
+	}
+	if cfg.FixedPolicy == nil && kind != fault.Overriding && kind != fault.Silent {
+		return nil, fmt.Errorf("explore: unsupported fault kind %v", kind)
+	}
+	cap := cfg.MaxExecutions
+	if cap <= 0 {
+		cap = DefaultMaxExecutions
+	}
+
+	out := &Outcome{}
+	c := &chooser{}
+	for out.Executions < cap {
+		c.arity = c.arity[:0]
+		c.pos = 0
+		ce, verdict, stats, err := runOnce(cfg, kind, c)
+		if err != nil {
+			return nil, err
+		}
+		out.Executions++
+		if stats.maxSteps > out.MaxProcSteps {
+			out.MaxProcSteps = stats.maxSteps
+		}
+		if stats.faults > out.MaxFaults {
+			out.MaxFaults = stats.faults
+		}
+		if !verdict.OK() {
+			ce.Path = append([]int(nil), c.path...)
+			out.Violation = ce
+			return out, nil
+		}
+		if !c.next() {
+			out.Complete = true
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+type runStats struct {
+	maxSteps int
+	faults   int
+}
+
+func runOnce(cfg Config, kind fault.Kind, c *chooser) (*Counterexample, run.Verdict, runStats, error) {
+	budget := fault.NewFixedBudget(cfg.FaultyObjects, cfg.FaultsPerObject)
+	policy := cfg.FixedPolicy
+	if policy == nil {
+		policy = fault.PolicyFunc(func(op fault.Op) fault.Proposal {
+			if !budget.Admits(op.Object) || !observable(kind, op) {
+				return fault.NoFault
+			}
+			if c.choose(2) == 1 {
+				return fault.Proposal{Kind: kind}
+			}
+			return fault.NoFault
+		})
+	}
+
+	bank := object.NewBank(cfg.Protocol.Objects(), budget, policy)
+
+	var schedule []int
+	sched := sim.SchedulerFunc(func(enabled []int) (int, bool) {
+		pick := enabled[0]
+		if len(enabled) > 1 {
+			pick = enabled[c.choose(len(enabled))]
+		}
+		schedule = append(schedule, pick)
+		return pick, true
+	})
+
+	limit := cfg.StepLimit
+	if limit <= 0 {
+		limit = cfg.Protocol.StepBound(len(cfg.Inputs))
+	}
+	log := trace.New()
+	res, err := sim.Run(sim.Config{
+		Programs:  run.Programs(cfg.Protocol, bank, cfg.Inputs),
+		Scheduler: sched,
+		StepLimit: limit,
+		Log:       log,
+	})
+	if err != nil && res == nil {
+		return nil, run.Verdict{}, runStats{}, err
+	}
+
+	stats := runStats{faults: budget.TotalFaults()}
+	for _, s := range res.Steps {
+		if s > stats.maxSteps {
+			stats.maxSteps = s
+		}
+	}
+	verdict := run.Evaluate(cfg.Inputs, res, err)
+	ce := &Counterexample{
+		Schedule: schedule,
+		Verdict:  verdict,
+		Trace:    log,
+		Inputs:   cfg.Inputs,
+	}
+	return ce, verdict, stats, nil
+}

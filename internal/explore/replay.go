@@ -1,0 +1,34 @@
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// Replay re-executes the single execution identified by a choice path
+// (as recorded in Counterexample.Path) under the same configuration and
+// returns its counterexample record. Because the simulator is
+// deterministic, the replay reproduces the original execution event for
+// event — the standard way to inspect, shrink, or export a violation found
+// during exploration.
+func Replay(cfg Config, path []int) (*Counterexample, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("explore: no protocol")
+	}
+	if len(cfg.Inputs) == 0 {
+		return nil, fmt.Errorf("explore: no inputs")
+	}
+	kind := cfg.Kind
+	if kind == fault.None {
+		kind = fault.Overriding
+	}
+	c := &chooser{path: append([]int(nil), path...)}
+	ce, verdict, _, err := runOnce(cfg, kind, c)
+	if err != nil {
+		return nil, err
+	}
+	ce.Path = append([]int(nil), c.path...)
+	ce.Verdict = verdict
+	return ce, nil
+}

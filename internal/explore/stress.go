@@ -1,0 +1,145 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/object"
+	"repro/internal/run"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// StressOutcome summarizes a randomized exploration.
+type StressOutcome struct {
+	// Runs is the number of random executions performed.
+	Runs int
+	// Violations is the number of runs that violated a requirement.
+	Violations int
+	// First is the first violating execution found, or nil.
+	First *Counterexample
+	// MaxProcSteps is the largest per-process step count observed.
+	MaxProcSteps int
+	// TotalFaults is the sum of fault counts across runs.
+	TotalFaults int
+}
+
+// OK reports that no violation was observed.
+func (o *StressOutcome) OK() bool { return o.Violations == 0 }
+
+// Rate returns the fraction of violating runs.
+func (o *StressOutcome) Rate() float64 {
+	if o.Runs == 0 {
+		return 0
+	}
+	return float64(o.Violations) / float64(o.Runs)
+}
+
+// Stress samples the execution tree uniformly at random (both scheduling and
+// fault decisions) for the given number of runs. It is the scalable
+// complement to Check for configurations whose trees are too large to
+// enumerate; a deterministic seed makes the whole batch replayable.
+func Stress(cfg Config, runs int, seed int64) (*StressOutcome, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("explore: no protocol")
+	}
+	if len(cfg.Inputs) == 0 {
+		return nil, fmt.Errorf("explore: no inputs")
+	}
+	kind := cfg.Kind
+	if kind == fault.None {
+		kind = fault.Overriding
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	out := &StressOutcome{}
+	for i := 0; i < runs; i++ {
+		ce, verdict, stats, err := stressOnce(cfg, kind, rng)
+		if err != nil {
+			return nil, err
+		}
+		out.Runs++
+		out.TotalFaults += stats.faults
+		if stats.maxSteps > out.MaxProcSteps {
+			out.MaxProcSteps = stats.maxSteps
+		}
+		if !verdict.OK() {
+			out.Violations++
+			if out.First == nil {
+				out.First = ce
+			}
+		}
+	}
+	return out, nil
+}
+
+// Sample runs one uniformly random execution (scheduling and fault
+// decisions both random, derived from the seed) and returns its record —
+// verdict, schedule, and trace. Use it to tally violation kinds over many
+// seeds where Stress's aggregate view is not enough.
+func Sample(cfg Config, seed int64) (*Counterexample, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("explore: no protocol")
+	}
+	if len(cfg.Inputs) == 0 {
+		return nil, fmt.Errorf("explore: no inputs")
+	}
+	kind := cfg.Kind
+	if kind == fault.None {
+		kind = fault.Overriding
+	}
+	ce, _, _, err := stressOnce(cfg, kind, rand.New(rand.NewSource(seed)))
+	return ce, err
+}
+
+func stressOnce(cfg Config, kind fault.Kind, rng *rand.Rand) (*Counterexample, run.Verdict, runStats, error) {
+	budget := fault.NewFixedBudget(cfg.FaultyObjects, cfg.FaultsPerObject)
+	policy := fault.PolicyFunc(func(op fault.Op) fault.Proposal {
+		if !budget.Admits(op.Object) || !observable(kind, op) {
+			return fault.NoFault
+		}
+		if rng.Intn(2) == 1 {
+			return fault.Proposal{Kind: kind}
+		}
+		return fault.NoFault
+	})
+
+	bank := object.NewBank(cfg.Protocol.Objects(), budget, policy)
+	var schedule []int
+	sched := sim.SchedulerFunc(func(enabled []int) (int, bool) {
+		pick := enabled[rng.Intn(len(enabled))]
+		schedule = append(schedule, pick)
+		return pick, true
+	})
+
+	limit := cfg.StepLimit
+	if limit <= 0 {
+		limit = cfg.Protocol.StepBound(len(cfg.Inputs))
+	}
+	log := trace.New()
+	res, err := sim.Run(sim.Config{
+		Programs:  run.Programs(cfg.Protocol, bank, cfg.Inputs),
+		Scheduler: sched,
+		StepLimit: limit,
+		Log:       log,
+	})
+	if err != nil && res == nil {
+		return nil, run.Verdict{}, runStats{}, err
+	}
+
+	stats := runStats{faults: budget.TotalFaults()}
+	for _, s := range res.Steps {
+		if s > stats.maxSteps {
+			stats.maxSteps = s
+		}
+	}
+	verdict := run.Evaluate(cfg.Inputs, res, err)
+	ce := &Counterexample{
+		Schedule: schedule,
+		Verdict:  verdict,
+		Trace:    log,
+		Inputs:   cfg.Inputs,
+	}
+	return ce, verdict, stats, nil
+}

@@ -1,0 +1,37 @@
+package fault
+
+import (
+	"testing"
+)
+
+func TestPerObjectRouting(t *testing.T) {
+	p := PerObject(map[int]Policy{
+		0: Always(Overriding),
+		2: Always(Silent),
+	})
+	if got := p.Decide(Op{Object: 0}).Kind; got != Overriding {
+		t.Errorf("object 0: %v", got)
+	}
+	if got := p.Decide(Op{Object: 1}).Kind; got != None {
+		t.Errorf("object 1 (no entry): %v", got)
+	}
+	if got := p.Decide(Op{Object: 2}).Kind; got != Silent {
+		t.Errorf("object 2: %v", got)
+	}
+}
+
+func TestPerObjectIsolatedFromCallerMap(t *testing.T) {
+	m := map[int]Policy{0: Always(Overriding)}
+	p := PerObject(m)
+	delete(m, 0) // mutating the caller's map must not affect the policy
+	if got := p.Decide(Op{Object: 0}).Kind; got != Overriding {
+		t.Errorf("policy lost its routing after caller mutation: %v", got)
+	}
+}
+
+func TestPerObjectEmpty(t *testing.T) {
+	p := PerObject(nil)
+	if got := p.Decide(Op{Object: 5}).Kind; got != None {
+		t.Errorf("empty mix proposed %v", got)
+	}
+}

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/atomicx"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// costConfig is one row of the E8 cost sweep.
+type costConfig struct {
+	name      string
+	proto     core.Protocol
+	faulty    int     // number of faulty objects (0 = fault-free)
+	boundedT  int     // per-object fault bound; fault.Unbounded for ∞
+	faultRate float64 // per-invocation fault probability
+	procs     int     // concurrent goroutines
+}
+
+// measureCost times `rounds` one-shot consensus instances with the given
+// concurrency on real atomics, returning ns per decide call and the mean
+// CAS invocations per decide call.
+func measureCost(cfg costConfig, rounds int, seed int64) (nsPerDecide float64, casPerDecide float64, err error) {
+	var totalOps int64
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var bank *atomicx.Bank
+		if cfg.faulty > 0 {
+			bank = atomicx.NewFaultyBank(cfg.proto.Objects(),
+				fault.NewFixedBudget(objectIDs(cfg.faulty), cfg.boundedT),
+				cfg.faultRate, seed+int64(r))
+		} else {
+			bank = atomicx.NewBank(cfg.proto.Objects())
+		}
+		results := make([]int64, cfg.procs)
+		var wg sync.WaitGroup
+		for g := 0; g < cfg.procs; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				results[g] = cfg.proto.Decide(bank, int64(100+g))
+			}(g)
+		}
+		wg.Wait()
+		totalOps += bank.Ops()
+		for g := 1; g < cfg.procs; g++ {
+			if results[g] != results[0] {
+				err = fmt.Errorf("round %d: disagreement %v under %s", r, results, cfg.name)
+				return
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	decides := float64(rounds * cfg.procs)
+	nsPerDecide = float64(elapsed.Nanoseconds()) / decides
+	casPerDecide = float64(totalOps) / decides
+	return
+}
+
+// runE8 measures the practical cost of each construction on real atomics:
+// the baseline single CAS is cheapest, Figure 2 costs f+1 CAS steps, and
+// Figure 3 pays for its stage budget t·(4f+f²) — the price of surviving
+// with zero reliable objects.
+func runE8(w io.Writer, opts Options) error {
+	rounds := 3000
+	procsList := []int{2, 4, 8}
+	if opts.Quick {
+		rounds = 300
+		procsList = []int{2, 4}
+	}
+
+	t := NewTable("protocol", "objects", "procs", "fault cfg", "ns/decide", "CAS/decide")
+	type rowResult struct {
+		name string
+		ns   float64
+	}
+	var baseline, staged21 *rowResult
+
+	for _, procs := range procsList {
+		// Figure 3 instances are only fault-tolerant up to f+1 processes
+		// (Theorem 6, tight by Theorem 19 — see E5), so each staged row
+		// is sized with f = procs−1 to match the requested concurrency.
+		configs := []costConfig{
+			{"baseline single CAS", core.SingleCAS{}, 0, 0, 0, procs},
+			{"figure2 f=1", core.NewFPlusOne(1), 1, fault.Unbounded, 0.3, procs},
+			{"figure2 f=3", core.NewFPlusOne(3), 3, fault.Unbounded, 0.3, procs},
+			{fmt.Sprintf("figure3 f=%d,t=1", procs-1), core.NewStaged(procs-1, 1), procs - 1, 1, 0.3, procs},
+			{fmt.Sprintf("figure3 f=%d,t=2", procs-1), core.NewStaged(procs-1, 2), procs - 1, 2, 0.3, procs},
+		}
+		for _, cfg := range configs {
+			if cfg.proto.MaxProcs() != 0 && cfg.procs > cfg.proto.MaxProcs() && cfg.faulty > 0 {
+				return fmt.Errorf("E8: misconfigured row %q: %d procs exceeds tolerance bound %d",
+					cfg.name, cfg.procs, cfg.proto.MaxProcs())
+			}
+			ns, cas, err := measureCost(cfg, rounds, opts.Seed)
+			if err != nil {
+				return fmt.Errorf("E8: %w", err)
+			}
+			faultCfg := "fault-free"
+			if cfg.faulty > 0 {
+				tStr := "∞"
+				if cfg.boundedT != fault.Unbounded {
+					tStr = fmt.Sprintf("%d", cfg.boundedT)
+				}
+				faultCfg = fmt.Sprintf("f=%d t=%s p=%.1f", cfg.faulty, tStr, cfg.faultRate)
+			}
+			t.Add(cfg.name, cfg.proto.Objects(), procs, faultCfg, ns, cas)
+			if procs == procsList[0] {
+				switch {
+				case cfg.name == "baseline single CAS":
+					baseline = &rowResult{cfg.name, ns}
+				case staged21 == nil && strings.HasPrefix(cfg.name, "figure3") && strings.HasSuffix(cfg.name, "t=1"):
+					staged21 = &rowResult{cfg.name, ns}
+				}
+			}
+		}
+	}
+	t.Render(w)
+
+	// Shape check: the fault-tolerant staged construction must cost more
+	// than the unprotected baseline (the paper's constructions trade
+	// steps for tolerance; if this inverts, the harness is mismeasuring).
+	if baseline != nil && staged21 != nil && staged21.ns <= baseline.ns {
+		return fmt.Errorf("E8: cost ordering inverted: %s (%.1f ns) <= %s (%.1f ns)",
+			staged21.name, staged21.ns, baseline.name, baseline.ns)
+	}
+	fmt.Fprintf(w, "\ncost ordering holds: baseline (%.0f ns/decide) < figure3 f=2,t=1 (%.0f ns/decide)\n",
+		baseline.ns, staged21.ns)
+	return nil
+}

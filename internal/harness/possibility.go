@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/fault"
+	"repro/internal/run"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// runE1 reproduces Theorem 4 / Figure 1: a single CAS object with
+// unboundedly many overriding faults solves two-process consensus.
+func runE1(w io.Writer, opts Options) error {
+	// Part 1: exhaustive verification over the complete execution tree.
+	out, err := explore.Check(explore.Config{
+		Protocol:        core.SingleCAS{},
+		Inputs:          inputs(2),
+		FaultyObjects:   []int{0},
+		FaultsPerObject: fault.Unbounded,
+	})
+	if err != nil {
+		return err
+	}
+	t1 := NewTable("mode", "executions", "complete", "violations")
+	viol := 0
+	if !out.OK() {
+		viol = 1
+	}
+	t1.Add("exhaustive", out.Executions, out.Complete, viol)
+	t1.Render(w)
+	if !out.OK() {
+		return fmt.Errorf("E1: exhaustive check found a violation: %s", out.Violation)
+	}
+	if !out.Complete {
+		return fmt.Errorf("E1: exhaustive check did not complete")
+	}
+
+	// Part 2: randomized sweep over fault rates.
+	runs := 2000
+	if opts.Quick {
+		runs = 200
+	}
+	fmt.Fprintln(w)
+	t2 := NewTable("fault rate", "runs", "faults injected", "violations", "max steps/proc")
+	for _, rate := range []float64{0, 0.25, 0.5, 1.0} {
+		var faults, violations, maxSteps int
+		for i := 0; i < runs; i++ {
+			seed := opts.Seed + int64(i)
+			budget := fault.NewBudget(1, fault.Unbounded)
+			res, err := run.Consensus(run.Config{
+				Protocol:  core.SingleCAS{},
+				Inputs:    inputs(2),
+				Scheduler: sim.NewRandom(seed),
+				Budget:    budget,
+				Policy:    fault.WhenEffective(fault.Rate(fault.Overriding, rate, seed)),
+			})
+			if err != nil {
+				return err
+			}
+			faults += budget.TotalFaults()
+			if !res.Verdict.OK() {
+				violations++
+			}
+			for _, s := range res.Sim.Steps {
+				if s > maxSteps {
+					maxSteps = s
+				}
+			}
+		}
+		t2.Add(rate, runs, faults, violations, maxSteps)
+		if violations > 0 {
+			t2.Render(w)
+			return fmt.Errorf("E1: %d violations at fault rate %.2f", violations, rate)
+		}
+	}
+	t2.Render(w)
+	return nil
+}
+
+// runE2 reproduces Theorem 5 / Figure 2: f+1 objects tolerate f faulty
+// objects with unbounded overriding faults, for any number of processes.
+func runE2(w io.Writer, opts Options) error {
+	fs := []int{1, 2, 3, 4, 5}
+	ns := []int{2, 3, 5, 8, 16}
+	runs := 400
+	if opts.Quick {
+		fs = []int{1, 2, 3}
+		ns = []int{2, 3, 5}
+		runs = 60
+	}
+	t := NewTable("f", "objects", "n", "runs", "faults injected", "violations", "steps/proc")
+	for _, f := range fs {
+		for _, n := range ns {
+			proto := core.NewFPlusOne(f)
+			var faults, violations int
+			stepsPerProc := -1
+			for i := 0; i < runs; i++ {
+				seed := opts.Seed + int64(i)
+				budget := fault.NewFixedBudget(objectIDs(f), fault.Unbounded)
+				res, err := run.Consensus(run.Config{
+					Protocol:  proto,
+					Inputs:    inputs(n),
+					Scheduler: sim.NewRandom(seed),
+					Budget:    budget,
+					Policy:    fault.WhenEffective(fault.Always(fault.Overriding)),
+				})
+				if err != nil {
+					return err
+				}
+				faults += budget.TotalFaults()
+				if !res.Verdict.OK() {
+					violations++
+				}
+				for _, s := range res.Sim.Steps {
+					if stepsPerProc == -1 {
+						stepsPerProc = s
+					}
+					if s != f+1 {
+						return fmt.Errorf("E2: f=%d n=%d: a process took %d steps, want exactly f+1=%d", f, n, s, f+1)
+					}
+				}
+			}
+			t.Add(f, f+1, n, runs, faults, violations, stepsPerProc)
+			if violations > 0 {
+				t.Render(w)
+				return fmt.Errorf("E2: %d violations at f=%d n=%d", violations, f, n)
+			}
+		}
+	}
+	t.Render(w)
+	return nil
+}
+
+// runE3 reproduces Theorem 6 / Figure 3: f all-faulty objects with ≤ t
+// faults each carry consensus for n = f+1 processes, and the stage budget
+// maxStage = t(4f+f²) is far above what executions actually consume.
+func runE3(w io.Writer, opts Options) error {
+	configs := []struct{ f, t int }{{1, 1}, {1, 2}, {1, 3}, {2, 1}, {2, 2}, {3, 1}}
+	runs := 400
+	exhaustiveCap := 150_000
+	if opts.Quick {
+		configs = []struct{ f, t int }{{1, 1}, {2, 1}}
+		runs = 60
+		exhaustiveCap = 30_000
+	}
+	t := NewTable("f", "t", "n", "mode", "executions", "violations",
+		"maxStage bound", "max stage seen", "step bound", "max steps seen")
+	for _, cfg := range configs {
+		proto := core.NewStaged(cfg.f, cfg.t)
+		n := cfg.f + 1
+
+		// Exhaustive first; fall back to randomized stress when the
+		// tree exceeds the cap.
+		out, err := explore.Check(explore.Config{
+			Protocol:        proto,
+			Inputs:          inputs(n),
+			FaultyObjects:   objectIDs(cfg.f),
+			FaultsPerObject: cfg.t,
+			MaxExecutions:   exhaustiveCap,
+		})
+		if err != nil {
+			return err
+		}
+		if out.Violation != nil {
+			return fmt.Errorf("E3: f=%d t=%d: violation found: %s", cfg.f, cfg.t, out.Violation)
+		}
+		if out.Complete {
+			t.Add(cfg.f, cfg.t, n, "exhaustive", out.Executions, 0,
+				proto.MaxStage(), "-", proto.StepBound(n), out.MaxProcSteps)
+			continue
+		}
+
+		// Randomized stress with stage observation.
+		var violations, maxStage, maxSteps int
+		var stepSamples []int
+		for i := 0; i < runs; i++ {
+			seed := opts.Seed + int64(i)
+			stageSeen := 0
+			observer := func(e trace.Event) {
+				if e.Kind == trace.EventCAS && e.Wrote() {
+					if s := int(e.Post.Stage()); s > stageSeen {
+						stageSeen = s
+					}
+				}
+			}
+			res, err := run.Consensus(run.Config{
+				Protocol:  proto,
+				Inputs:    inputs(n),
+				Scheduler: sim.NewRandom(seed),
+				Budget:    fault.NewFixedBudget(objectIDs(cfg.f), cfg.t),
+				Policy:    fault.WhenEffective(fault.Rate(fault.Overriding, 0.4, seed)),
+				Observer:  observer,
+			})
+			if err != nil {
+				return err
+			}
+			if !res.Verdict.OK() {
+				violations++
+			}
+			if stageSeen > maxStage {
+				maxStage = stageSeen
+			}
+			for _, s := range res.Sim.Steps {
+				stepSamples = append(stepSamples, s)
+				if s > maxSteps {
+					maxSteps = s
+				}
+			}
+		}
+		t.Add(cfg.f, cfg.t, n, "stress", runs, violations,
+			proto.MaxStage(), maxStage, proto.StepBound(n), maxSteps)
+		if violations > 0 {
+			t.Render(w)
+			return fmt.Errorf("E3: %d violations at f=%d t=%d", violations, cfg.f, cfg.t)
+		}
+		dist := stats.SummarizeInts(stepSamples)
+		fmt.Fprintf(w, "f=%d t=%d steps/process distribution: %s\n", cfg.f, cfg.t, dist)
+	}
+	t.Render(w)
+	return nil
+}

@@ -1,0 +1,184 @@
+// Package hierarchy estimates consensus numbers of faulty-CAS
+// configurations, reproducing the closing observation of Section 5.2: a set
+// of f CAS objects, each with a bounded number of overriding faults, has
+// consensus number exactly f+1 — so overriding-faulty CAS objects populate
+// every level of the Herlihy consensus hierarchy.
+//
+// The estimate for one configuration combines both directions of the paper:
+//
+//   - Possibility up to n = f+1: the staged protocol of Figure 3 is checked
+//     at each process count — exhaustively when the execution tree is small
+//     enough, by seeded randomized stress otherwise.
+//   - Impossibility at n = f+2: the covering adversary of Theorem 19 is run
+//     against the protocol; the theorem predicts (and this package asserts)
+//     a consistency violation.
+package hierarchy
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+// Evidence says how a level of the estimate was established.
+type Evidence string
+
+const (
+	// EvidenceExhaustive means the complete execution tree was checked.
+	EvidenceExhaustive Evidence = "exhaustive"
+	// EvidenceStress means a randomized sample found no violation.
+	EvidenceStress Evidence = "stress"
+	// EvidenceCovering means the covering adversary produced a violation.
+	EvidenceCovering Evidence = "covering"
+)
+
+// Level is the verdict for one (f, t, n) point.
+type Level struct {
+	N          int
+	OK         bool // consensus achieved at this process count
+	Evidence   Evidence
+	Executions int // executions examined at this level
+}
+
+// Estimate is the consensus-number estimate for f faulty CAS objects with a
+// per-object fault bound t.
+type Estimate struct {
+	F int
+	T int
+	// ConsensusNumber is the largest n for which consensus was achieved
+	// (the paper proves it equals F+1).
+	ConsensusNumber int
+	// Levels records the per-n evidence, n = 2 .. F+2.
+	Levels []Level
+}
+
+// String renders the estimate in one line.
+func (e *Estimate) String() string {
+	return fmt.Sprintf("f=%d t=%d: consensus number %d", e.F, e.T, e.ConsensusNumber)
+}
+
+// Options tunes the estimation effort.
+type Options struct {
+	// ExhaustiveBudget is the execution cap under which the checker may
+	// complete an exhaustive enumeration; larger trees fall back to
+	// stress. 0 means 20000.
+	ExhaustiveBudget int
+	// StressRuns is the number of randomized executions per level when
+	// falling back. 0 means 400.
+	StressRuns int
+	// Seed drives the randomized fallback.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ExhaustiveBudget <= 0 {
+		o.ExhaustiveBudget = 20000
+	}
+	if o.StressRuns <= 0 {
+		o.StressRuns = 400
+	}
+	return o
+}
+
+func inputs(n int) []int64 {
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(10 + i)
+	}
+	return in
+}
+
+// ForFaultyCAS estimates the consensus number of f all-faulty CAS objects
+// with at most t overriding faults each, using the staged protocol as the
+// implementation witness and the covering adversary as the impossibility
+// witness.
+func ForFaultyCAS(f, t int, opts Options) (*Estimate, error) {
+	opts = opts.withDefaults()
+	proto := core.NewStaged(f, t)
+	allObjs := make([]int, f)
+	for i := range allObjs {
+		allObjs[i] = i
+	}
+
+	est := &Estimate{F: f, T: t, ConsensusNumber: 1}
+
+	// Possibility side: n = 2 .. f+1.
+	for n := 2; n <= f+1; n++ {
+		level, err := checkLevel(proto, allObjs, t, n, opts)
+		if err != nil {
+			return nil, err
+		}
+		est.Levels = append(est.Levels, level)
+		if !level.OK {
+			return est, nil
+		}
+		est.ConsensusNumber = n
+	}
+
+	// Impossibility side: n = f+2 must fall to the covering adversary.
+	cov, err := adversary.Covering(proto, inputs(f+2))
+	if err != nil {
+		return nil, err
+	}
+	level := Level{N: f + 2, OK: !cov.Violated(), Evidence: EvidenceCovering, Executions: 1}
+	est.Levels = append(est.Levels, level)
+	if level.OK {
+		// The covering adversary did not break the protocol at f+2 —
+		// contrary to Theorem 19. Report it as a (suspicious) higher
+		// consensus number so callers notice.
+		est.ConsensusNumber = f + 2
+	}
+	return est, nil
+}
+
+func checkLevel(proto core.Staged, faulty []int, t, n int, opts Options) (Level, error) {
+	cfg := explore.Config{
+		Protocol:        proto,
+		Inputs:          inputs(n),
+		FaultyObjects:   faulty,
+		FaultsPerObject: t,
+		MaxExecutions:   opts.ExhaustiveBudget,
+	}
+	out, err := explore.Check(cfg)
+	if err != nil {
+		return Level{}, err
+	}
+	if out.Violation != nil {
+		return Level{N: n, OK: false, Evidence: EvidenceExhaustive, Executions: out.Executions}, nil
+	}
+	if out.Complete {
+		return Level{N: n, OK: true, Evidence: EvidenceExhaustive, Executions: out.Executions}, nil
+	}
+	// Tree too large: fall back to randomized stress — a uniform pass
+	// plus a PCT pass (solo bursts with targeted preemptions, the shape
+	// of the paper's adversarial executions).
+	st, err := explore.Stress(cfg, opts.StressRuns, opts.Seed+int64(n))
+	if err != nil {
+		return Level{}, err
+	}
+	pct, err := explore.StressPCT(cfg, opts.StressRuns, opts.Seed+int64(n), 3, 0)
+	if err != nil {
+		return Level{}, err
+	}
+	return Level{
+		N:          n,
+		OK:         st.OK() && pct.OK(),
+		Evidence:   EvidenceStress,
+		Executions: out.Executions + st.Runs + pct.Runs,
+	}, nil
+}
+
+// Table computes estimates for f = 1..maxF at the given t.
+func Table(maxF, t int, opts Options) ([]*Estimate, error) {
+	var out []*Estimate
+	for f := 1; f <= maxF; f++ {
+		est, err := ForFaultyCAS(f, t, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, est)
+	}
+	return out, nil
+}

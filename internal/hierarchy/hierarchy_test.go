@@ -1,0 +1,61 @@
+package hierarchy
+
+import "testing"
+
+func TestConsensusNumberF1(t *testing.T) {
+	est, err := ForFaultyCAS(1, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ConsensusNumber != 2 {
+		t.Fatalf("f=1: consensus number %d, want 2\nlevels: %+v", est.ConsensusNumber, est.Levels)
+	}
+	// Level n=2 should be proven exhaustively at f=1, t=1.
+	if est.Levels[0].Evidence != EvidenceExhaustive {
+		t.Errorf("n=2 evidence = %s, want exhaustive", est.Levels[0].Evidence)
+	}
+	// Level n=3 must fall to the covering adversary.
+	last := est.Levels[len(est.Levels)-1]
+	if last.N != 3 || last.OK {
+		t.Errorf("n=3 level = %+v, want covering violation", last)
+	}
+}
+
+func TestConsensusNumberF2(t *testing.T) {
+	est, err := ForFaultyCAS(2, 1, Options{StressRuns: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ConsensusNumber != 3 {
+		t.Fatalf("f=2: consensus number %d, want 3\nlevels: %+v", est.ConsensusNumber, est.Levels)
+	}
+}
+
+func TestTableSweepsLevels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hierarchy sweep")
+	}
+	ests, err := Table(3, 1, Options{StressRuns: 100, ExhaustiveBudget: 5000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 3 {
+		t.Fatalf("table has %d rows", len(ests))
+	}
+	for i, est := range ests {
+		f := i + 1
+		if est.ConsensusNumber != f+1 {
+			t.Errorf("f=%d: consensus number %d, want %d (Section 5.2)", f, est.ConsensusNumber, f+1)
+		}
+		if est.String() == "" {
+			t.Error("empty estimate string")
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.ExhaustiveBudget <= 0 || o.StressRuns <= 0 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+}

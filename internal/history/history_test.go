@@ -1,0 +1,223 @@
+package history
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/atomicx"
+	"repro/internal/fault"
+	"repro/internal/word"
+)
+
+var (
+	bot = word.Bottom
+	w1  = word.FromValue(1)
+	w2  = word.FromValue(2)
+	w3  = word.FromValue(3)
+)
+
+// seqOp builds a non-overlapping op occupying [2k, 2k+1].
+func seqOp(k int, obj int, exp, new, old word.Word) Op {
+	return Op{Object: obj, Invoke: int64(2 * k), Return: int64(2*k + 1), Exp: exp, New: new, Old: old}
+}
+
+func TestEmptyHistoryLinearizable(t *testing.T) {
+	if !Check(nil, 1, Budget{}) {
+		t.Fatal("empty history must be linearizable")
+	}
+}
+
+func TestSequentialCorrectHistory(t *testing.T) {
+	ops := []Op{
+		seqOp(0, 0, bot, w1, bot), // success
+		seqOp(1, 0, bot, w2, w1),  // failure
+		seqOp(2, 0, w1, w3, w1),   // success
+	}
+	if !Check(ops, 1, Budget{}) {
+		t.Fatal("correct sequential history must be linearizable")
+	}
+}
+
+func TestSequentialBrokenHistoryRejected(t *testing.T) {
+	// The second op claims old=⊥ though the register must hold 1.
+	ops := []Op{
+		seqOp(0, 0, bot, w1, bot),
+		seqOp(1, 0, bot, w2, bot),
+	}
+	if Check(ops, 1, Budget{}) {
+		t.Fatal("history with an untruthful old value must be rejected")
+	}
+}
+
+func TestOverridingHistoryNeedsBudget(t *testing.T) {
+	// Op 2 observes old=1 (truthful) and its write takes effect (op 3
+	// sees 2) despite exp=⊥ mismatching: an overriding step.
+	ops := []Op{
+		seqOp(0, 0, bot, w1, bot), // content 1
+		seqOp(1, 0, bot, w2, w1),  // override: content 2
+		seqOp(2, 0, w2, w3, w2),   // success proves the write landed
+	}
+	if Check(ops, 1, Budget{}) {
+		t.Fatal("strict linearizability must reject the overriding step")
+	}
+	if !Check(ops, 1, Budget{F: 1, T: 1}) {
+		t.Fatal("(1,1)-relaxed linearizability must accept one override")
+	}
+}
+
+func TestBudgetPerObjectEnforced(t *testing.T) {
+	// Two overrides, each PROVEN by a later op consuming the written
+	// value (without the proof op, an "override" linearizes as a plain
+	// failed CAS and needs no budget).
+	ops := []Op{
+		seqOp(0, 0, bot, w1, bot), // success: content 1
+		seqOp(1, 0, bot, w2, w1),  // override #1: content 2
+		seqOp(2, 0, bot, w3, w2),  // override #2: content 3
+		seqOp(3, 0, w3, w1, w3),   // success consuming 3: proves #2 wrote
+	}
+	// (op 2's old=2 proves #1 wrote.)
+	if Check(ops, 1, Budget{F: 1, T: 1}) {
+		t.Fatal("two overrides must exceed T=1")
+	}
+	if !Check(ops, 1, Budget{F: 1, T: 2}) {
+		t.Fatal("T=2 must accept two overrides")
+	}
+	if !Check(ops, 1, Budget{F: 1, T: Unbounded}) {
+		t.Fatal("T=∞ must accept")
+	}
+}
+
+func TestBudgetFaultyObjectCountEnforced(t *testing.T) {
+	// One proven override per object.
+	ops := []Op{
+		seqOp(0, 0, bot, w1, bot),
+		seqOp(1, 1, bot, w1, bot),
+		seqOp(2, 0, bot, w2, w1), // override on object 0
+		seqOp(3, 1, bot, w2, w1), // override on object 1
+		seqOp(4, 0, w2, w3, w2),  // proof for object 0
+		seqOp(5, 1, w2, w3, w2),  // proof for object 1
+	}
+	if Check(ops, 2, Budget{F: 1, T: Unbounded}) {
+		t.Fatal("two faulty objects must exceed F=1")
+	}
+	if !Check(ops, 2, Budget{F: 2, T: 1}) {
+		t.Fatal("F=2 must accept one override per object")
+	}
+}
+
+func TestConcurrentOverlapAllowsReordering(t *testing.T) {
+	// Two overlapping successful CASes on ⊥: only one can truly have
+	// seen ⊥... unless they are ordered so the second's old matches.
+	// Overlapping ops may linearize in either order.
+	ops := []Op{
+		{Object: 0, Invoke: 0, Return: 3, Exp: bot, New: w1, Old: bot},
+		{Object: 0, Invoke: 1, Return: 2, Exp: w1, New: w2, Old: w1},
+	}
+	if !Check(ops, 1, Budget{}) {
+		t.Fatal("overlapping ops must be orderable: first wrote 1, second consumed it")
+	}
+}
+
+func TestRealTimeOrderRespected(t *testing.T) {
+	// The op that returned before the other was invoked must linearize
+	// first; here that order is inconsistent, so the history is rejected.
+	ops := []Op{
+		// Completed first: claims it consumed content 1...
+		seqOp(0, 0, w1, w2, w1),
+		// ...but the op that wrote 1 runs strictly later.
+		seqOp(1, 0, bot, w1, bot),
+	}
+	if Check(ops, 1, Budget{}) {
+		t.Fatal("history violating real-time order must be rejected")
+	}
+}
+
+func TestRecorderCapturesConcurrentRuns(t *testing.T) {
+	bank := atomicx.NewBank(1)
+	rec := NewRecorder(bank)
+	const procs = 4
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rec.CAS(0, bot, word.FromValue(int64(g+1)))
+		}(g)
+	}
+	wg.Wait()
+	ops := rec.Ops()
+	if len(ops) != procs {
+		t.Fatalf("recorded %d ops", len(ops))
+	}
+	if rec.Len() != 1 {
+		t.Fatalf("Len = %d", rec.Len())
+	}
+	if !Check(ops, 1, Budget{}) {
+		t.Fatal("fault-free atomic CAS history must be strictly linearizable")
+	}
+}
+
+func TestAtomicBankStrictlyLinearizable(t *testing.T) {
+	// Randomized concurrent workloads on the fault-free atomic bank must
+	// always be strictly linearizable.
+	for trial := 0; trial < 40; trial++ {
+		bank := atomicx.NewBank(2)
+		rec := NewRecorder(bank)
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 2; i++ {
+					exp := word.Bottom
+					if i == 1 {
+						exp = word.FromValue(int64(g + 1))
+					}
+					rec.CAS(g%2, exp, word.FromValue(int64(3*g+i+1)))
+				}
+			}(g)
+		}
+		wg.Wait()
+		if !Check(rec.Ops(), 2, Budget{}) {
+			t.Fatalf("trial %d: fault-free history not linearizable:\n%v", trial, rec.Ops())
+		}
+	}
+}
+
+func TestFaultyAtomicBankRelaxedLinearizable(t *testing.T) {
+	// Histories of the faulty bank may need the Φ′ relaxation — and must
+	// always fit within it given the bank's own budget.
+	for trial := 0; trial < 40; trial++ {
+		bank := atomicx.NewFaultyBank(1, fault.NewBudget(1, 2), 0.8, int64(trial))
+		rec := NewRecorder(bank)
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rec.CAS(0, word.Bottom, word.FromValue(int64(g+1)))
+				rec.CAS(0, word.FromValue(int64(g+1)), word.FromValue(int64(g+10)))
+			}(g)
+		}
+		wg.Wait()
+		if !Check(rec.Ops(), 1, Budget{F: 1, T: 2}) {
+			t.Fatalf("trial %d: faulty history exceeds its own (1,2) budget:\n%v",
+				trial, rec.Ops())
+		}
+	}
+}
+
+func TestTooLongHistoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized history must panic")
+		}
+	}()
+	Check(make([]Op, 64), 1, Budget{})
+}
+
+func TestOpString(t *testing.T) {
+	if seqOp(0, 0, bot, w1, bot).String() == "" {
+		t.Error("empty op string")
+	}
+}

@@ -1,0 +1,90 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/word"
+)
+
+// TestSequentialCorrectHistoriesAlwaysLinearizableProperty generates random
+// CORRECT sequential histories (simulating the CAS spec faithfully) and
+// asserts the checker accepts every one under the strict budget.
+func TestSequentialCorrectHistoriesAlwaysLinearizableProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		const objects = 2
+		contents := [objects]word.Word{}
+		var ops []Op
+		for k, b := range raw {
+			if k >= 12 {
+				break
+			}
+			obj := int(b) % objects
+			// Derive exp: half the time the true content (success),
+			// half the time something else (failure).
+			exp := contents[obj]
+			if b&0x10 != 0 {
+				exp = word.FromValue(int64(b%7) + 50)
+			}
+			nw := word.FromValue(int64(b%13) + 1)
+			old := contents[obj]
+			if exp == contents[obj] {
+				contents[obj] = nw
+			}
+			ops = append(ops, Op{
+				Object: obj,
+				Invoke: int64(2 * k), Return: int64(2*k + 1),
+				Exp: exp, New: nw, Old: old,
+			})
+		}
+		return Check(ops, objects, Budget{})
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequentialOverridingHistoriesFitTheirBudgetProperty generates random
+// sequential histories where some mismatching CASes override anyway, and
+// asserts the checker accepts them exactly under a budget at least as large
+// as the number of overrides taken.
+func TestSequentialOverridingHistoriesFitTheirBudgetProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		contents := word.Bottom
+		overrides := 0
+		var ops []Op
+		for k, b := range raw {
+			if k >= 10 {
+				break
+			}
+			exp := contents
+			if b&0x10 != 0 {
+				exp = word.FromValue(int64(b%7) + 50)
+			}
+			nw := word.FromValue(int64(b%13) + 1)
+			old := contents
+			switch {
+			case exp == contents:
+				contents = nw
+			case b&0x20 != 0 && nw != contents:
+				// Overriding fault: write despite the mismatch.
+				contents = nw
+				overrides++
+			}
+			ops = append(ops, Op{
+				Object: 0,
+				Invoke: int64(2 * k), Return: int64(2*k + 1),
+				Exp: exp, New: nw, Old: old,
+			})
+		}
+		// Accepted with a budget covering the overrides taken...
+		if !Check(ops, 1, Budget{F: 1, T: overrides}) {
+			return false
+		}
+		// ...and with the unbounded budget.
+		return Check(ops, 1, Budget{F: 1, T: Unbounded})
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package object
+
+import (
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/word"
+)
+
+// Bank is a set of CAS objects shared by all processes of one execution.
+type Bank struct {
+	objs []*CAS
+}
+
+// NewBank creates n CAS objects (ids 0..n-1) sharing one budget and policy.
+func NewBank(n int, budget *fault.Budget, policy fault.Policy) *Bank {
+	b := &Bank{objs: make([]*CAS, n)}
+	for i := range b.objs {
+		b.objs[i] = NewCAS(i, budget, policy)
+	}
+	return b
+}
+
+// Object returns the i-th CAS object.
+func (b *Bank) Object(i int) *CAS { return b.objs[i] }
+
+// Len returns the number of objects.
+func (b *Bank) Len() int { return len(b.objs) }
+
+// Contents returns a snapshot of all register contents (monitor-side).
+func (b *Bank) Contents() []word.Word {
+	out := make([]word.Word, len(b.objs))
+	for i, o := range b.objs {
+		out[i] = o.Content()
+	}
+	return out
+}
+
+// Reset restores every object to ⊥.
+func (b *Bank) Reset() {
+	for _, o := range b.objs {
+		o.Reset()
+	}
+}
+
+// Bind returns the bank as seen by one simulated process: an environment
+// whose CAS method takes one scheduled atomic step. The returned value
+// satisfies the protocol environment interface (core.Env) structurally.
+func (b *Bank) Bind(p *sim.Proc) *Array { return &Array{bank: b, p: p} }
+
+// Array is a Bank bound to one simulated process.
+type Array struct {
+	bank *Bank
+	p    *sim.Proc
+}
+
+// CAS executes the CAS operation on object i as one atomic step.
+func (a *Array) CAS(i int, exp, new word.Word) word.Word {
+	return a.bank.objs[i].Invoke(a.p, exp, new)
+}
+
+// Len returns the number of objects in the bank.
+func (a *Array) Len() int { return a.bank.Len() }

@@ -1,0 +1,186 @@
+// Package object implements the shared objects of the paper's model: the
+// CAS object of Section 3.3 — which exposes only the CAS operation and can
+// manifest any of the functional faults of Sections 3.3–3.4 — and a plain
+// read/write register.
+//
+// The fault pipeline per invocation is: the configured fault.Policy proposes
+// a fault; the proposal is admitted only if it is observable (it would
+// actually violate the CAS postconditions Φ, per Definition 1) and within
+// the fault.Budget (Definition 3); admitted faults are charged and applied.
+package object
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+// CAS is a CAS object: a register supporting only the compare-and-swap
+// operation. Protocols cannot read it; the Content method exists for
+// checkers and adversaries only.
+type CAS struct {
+	id      int
+	content word.Word
+	budget  *fault.Budget
+	policy  fault.Policy
+}
+
+// NewCAS returns a CAS object initialized to ⊥. budget and policy may be nil
+// for a fault-free object.
+func NewCAS(id int, budget *fault.Budget, policy fault.Policy) *CAS {
+	if policy == nil {
+		policy = fault.Never()
+	}
+	return &CAS{id: id, budget: budget, policy: policy}
+}
+
+// ID returns the object's id.
+func (o *CAS) ID() int { return o.id }
+
+// Content returns the current register content. It is a monitor-side
+// operation: the CAS object type offers no read operation to protocols
+// (Section 3.3), and no protocol code calls it.
+func (o *CAS) Content() word.Word { return o.content }
+
+// Reset restores the initial state ⊥ (fresh executions during exploration).
+func (o *CAS) Reset() { o.content = word.Bottom }
+
+// Corrupt replaces the register content outside any operation — a memory
+// data fault in the model of Afek et al. (Section 3.1), used to contrast
+// data faults with functional faults. It returns the displaced content.
+func (o *CAS) Corrupt(v word.Word) word.Word {
+	old := o.content
+	o.content = v
+	return old
+}
+
+// Apply executes one atomic CAS action directly, without scheduling: it
+// consults the fault policy and budget, updates the register, and returns
+// the old value along with the trace event describing what happened. The
+// simulator wraps Apply in a scheduled step via Invoke.
+func (o *CAS) Apply(proc int, exp, new word.Word) (word.Word, trace.Event) {
+	pre := o.content
+	prop := o.policy.Decide(fault.Op{
+		Object:  o.id,
+		Proc:    proc,
+		Exp:     exp,
+		New:     new,
+		Current: pre,
+	})
+
+	kind := prop.Kind
+	admit := func() bool {
+		if o.budget == nil || !o.budget.Admits(o.id) {
+			return false
+		}
+		o.budget.Charge(o.id)
+		return true
+	}
+
+	// Specification behaviour (Φ): write iff pre == exp; return pre.
+	write := pre == exp
+	stored := new
+	old := pre
+
+	switch kind {
+	case fault.None:
+		// Specification behaviour stands.
+	case fault.Overriding:
+		// Φ′: R = val ∧ old = R′. Observable only when the comparison
+		// would have failed AND the written value actually differs
+		// from the current content (overriding with the same word
+		// leaves a state satisfying Φ — no fault per Definition 1).
+		if pre == exp || new == pre || !admit() {
+			kind = fault.None
+		} else {
+			write = true
+		}
+	case fault.Silent:
+		// The new value is not written even though the comparison
+		// succeeds. Observable only when it would have succeeded and
+		// the write would have changed the content.
+		if pre != exp || new == pre || !admit() {
+			kind = fault.None
+		} else {
+			write = false
+		}
+	case fault.Invisible:
+		// The returned old value is incorrect; the write behaviour
+		// follows the specification. A ⊥ (zero) Return means the
+		// policy left the corruption unspecified: fall back to the
+		// classic corruption of pretending the opposite comparison
+		// outcome.
+		ret := prop.Return
+		if ret.IsBottom() {
+			if pre == exp {
+				ret = new
+			} else {
+				ret = exp
+			}
+		}
+		if ret == pre || !admit() {
+			kind = fault.None
+		} else {
+			old = ret
+		}
+	case fault.Arbitrary:
+		// An arbitrary value is written regardless of the inputs.
+		target := prop.Write
+		correct := pre
+		if pre == exp {
+			correct = new
+		}
+		if target == correct || !admit() {
+			kind = fault.None
+		} else {
+			write = true
+			stored = target
+		}
+	case fault.Nonresponsive:
+		if !admit() {
+			kind = fault.None
+		}
+		// The event is recorded; the caller is responsible for never
+		// returning (Invoke stalls the process).
+	default:
+		panic(fmt.Sprintf("object: unknown fault kind %v", kind))
+	}
+
+	post := pre
+	if write && kind != fault.Nonresponsive {
+		o.content = stored
+		post = stored
+	}
+
+	ev := trace.Event{
+		Kind:   trace.EventCAS,
+		Proc:   proc,
+		Object: o.id,
+		Exp:    exp,
+		New:    new,
+		Pre:    pre,
+		Post:   post,
+		Old:    old,
+		Fault:  kind,
+	}
+	return old, ev
+}
+
+// Invoke executes the CAS operation as one atomic step of the simulated
+// process p, recording the step in the execution trace. A nonresponsive
+// fault stalls the process forever.
+func (o *CAS) Invoke(p *sim.Proc, exp, new word.Word) word.Word {
+	var old word.Word
+	p.Exec(func() {
+		var ev trace.Event
+		old, ev = o.Apply(p.ID(), exp, new)
+		p.Record(ev)
+		if ev.Fault == fault.Nonresponsive {
+			p.Stall()
+		}
+	})
+	return old
+}

@@ -1,0 +1,295 @@
+package object
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/word"
+)
+
+var (
+	v1 = word.FromValue(1)
+	v2 = word.FromValue(2)
+	v3 = word.FromValue(3)
+)
+
+func unboundedBudget() *fault.Budget { return fault.NewBudget(1, fault.Unbounded) }
+
+func TestCorrectCASSemantics(t *testing.T) {
+	o := NewCAS(0, nil, nil)
+
+	// Successful CAS: matching expected value writes and returns old.
+	old, ev := o.Apply(0, word.Bottom, v1)
+	if old != word.Bottom {
+		t.Errorf("old = %s, want ⊥", old)
+	}
+	if o.Content() != v1 {
+		t.Errorf("content = %s, want 1", o.Content())
+	}
+	if ev.Fault != fault.None || !ev.Wrote() {
+		t.Errorf("event = %+v", ev)
+	}
+
+	// Failed CAS: mismatching expected value leaves content, returns old.
+	old, ev = o.Apply(1, word.Bottom, v2)
+	if old != v1 {
+		t.Errorf("old = %s, want 1", old)
+	}
+	if o.Content() != v1 {
+		t.Errorf("content = %s, want 1", o.Content())
+	}
+	if ev.Wrote() {
+		t.Error("failed CAS must not write")
+	}
+}
+
+func TestOverridingFaultSemantics(t *testing.T) {
+	// Φ′ of Section 3.3: the new value is written even on mismatch, and
+	// the returned old value is still correct.
+	b := unboundedBudget()
+	o := NewCAS(0, b, fault.Always(fault.Overriding))
+
+	// First CAS matches (⊥): the override proposal is unobservable, so it
+	// behaves as a normal success and is not charged.
+	old, ev := o.Apply(0, word.Bottom, v1)
+	if old != word.Bottom || o.Content() != v1 {
+		t.Fatalf("matching CAS corrupted: old=%s content=%s", old, o.Content())
+	}
+	if ev.Fault != fault.None {
+		t.Errorf("unobservable override must be reported as None, got %v", ev.Fault)
+	}
+	if b.TotalFaults() != 0 {
+		t.Errorf("unobservable override charged the budget: %d", b.TotalFaults())
+	}
+
+	// Second CAS mismatches: the override fires, writes, returns true old.
+	old, ev = o.Apply(1, word.Bottom, v2)
+	if old != v1 {
+		t.Errorf("old = %s, want 1 (old value stays correct under Φ′)", old)
+	}
+	if o.Content() != v2 {
+		t.Errorf("content = %s, want 2 (override writes)", o.Content())
+	}
+	if ev.Fault != fault.Overriding {
+		t.Errorf("fault = %v, want overriding", ev.Fault)
+	}
+	if b.Faults(0) != 1 {
+		t.Errorf("budget charge = %d, want 1", b.Faults(0))
+	}
+}
+
+func TestOverridingFaultRespectsBudget(t *testing.T) {
+	b := fault.NewBudget(1, 1) // one fault total
+	o := NewCAS(0, b, fault.Always(fault.Overriding))
+
+	o.Apply(0, word.Bottom, v1)            // matching, no fault
+	o.Apply(1, word.Bottom, v2)            // override fires (budget now empty)
+	old, ev := o.Apply(2, word.Bottom, v3) // proposal rejected: normal failed CAS
+	if ev.Fault != fault.None {
+		t.Errorf("exhausted budget must suppress fault, got %v", ev.Fault)
+	}
+	if old != v2 || o.Content() != v2 {
+		t.Errorf("suppressed fault must behave per spec: old=%s content=%s", old, o.Content())
+	}
+}
+
+func TestOverridingNoOpWriteIsUnobservable(t *testing.T) {
+	// An override that writes the register's current content back leaves
+	// a state satisfying Φ: per Definition 1 no fault occurred, so no
+	// budget is consumed and the event is labeled None.
+	b := unboundedBudget()
+	o := NewCAS(0, b, fault.Always(fault.Overriding))
+	o.Corrupt(v2)
+	old, ev := o.Apply(0, word.Bottom, v2) // mismatch, but new == current
+	if old != v2 || o.Content() != v2 {
+		t.Fatalf("state disturbed: old=%s content=%s", old, o.Content())
+	}
+	if ev.Fault != fault.None {
+		t.Errorf("no-op override labeled %v, want none", ev.Fault)
+	}
+	if b.TotalFaults() != 0 {
+		t.Error("no-op override must not be charged")
+	}
+}
+
+func TestSilentNoOpWriteIsUnobservable(t *testing.T) {
+	b := unboundedBudget()
+	o := NewCAS(0, b, fault.Always(fault.Silent))
+	o.Corrupt(v2)
+	_, ev := o.Apply(0, v2, v2) // match, but writing the same value
+	if ev.Fault != fault.None {
+		t.Errorf("no-op silent labeled %v, want none", ev.Fault)
+	}
+	if b.TotalFaults() != 0 {
+		t.Error("no-op silent must not be charged")
+	}
+}
+
+func TestNilBudgetAdmitsNoFaults(t *testing.T) {
+	o := NewCAS(0, nil, fault.Always(fault.Overriding))
+	o.Apply(0, word.Bottom, v1)
+	_, ev := o.Apply(1, word.Bottom, v2)
+	if ev.Fault != fault.None {
+		t.Error("nil budget must never admit faults")
+	}
+	if o.Content() != v1 {
+		t.Error("content must follow specification")
+	}
+}
+
+func TestSilentFaultSemantics(t *testing.T) {
+	b := unboundedBudget()
+	o := NewCAS(0, b, fault.Always(fault.Silent))
+
+	// Matching CAS: silent fault fires — no write, correct old returned.
+	old, ev := o.Apply(0, word.Bottom, v1)
+	if old != word.Bottom {
+		t.Errorf("old = %s, want ⊥", old)
+	}
+	if o.Content() != word.Bottom {
+		t.Errorf("content = %s, want ⊥ (silent fault suppresses write)", o.Content())
+	}
+	if ev.Fault != fault.Silent {
+		t.Errorf("fault = %v, want silent", ev.Fault)
+	}
+}
+
+func TestSilentFaultUnobservableOnMismatch(t *testing.T) {
+	b := unboundedBudget()
+	o := NewCAS(0, b, fault.Always(fault.Silent))
+	o.Corrupt(v1)
+	_, ev := o.Apply(0, v2, v3) // mismatch: spec already writes nothing
+	if ev.Fault != fault.None {
+		t.Errorf("silent fault on mismatching CAS is unobservable, got %v", ev.Fault)
+	}
+	if b.TotalFaults() != 0 {
+		t.Error("unobservable silent fault must not be charged")
+	}
+}
+
+func TestInvisibleFaultDefaultCorruption(t *testing.T) {
+	b := unboundedBudget()
+	o := NewCAS(0, b, fault.Always(fault.Invisible))
+
+	// Matching CAS: write proceeds per spec, but old pretends failure
+	// (returns the new value instead of the true old ⊥).
+	old, ev := o.Apply(0, word.Bottom, v1)
+	if ev.Fault != fault.Invisible {
+		t.Fatalf("fault = %v, want invisible", ev.Fault)
+	}
+	if o.Content() != v1 {
+		t.Errorf("content = %s, want 1 (write behaviour per spec)", o.Content())
+	}
+	if old == word.Bottom {
+		t.Error("invisible fault must corrupt the returned old value")
+	}
+
+	// Mismatching CAS: no write per spec, old pretends success (returns exp).
+	old, ev = o.Apply(1, v2, v3)
+	if ev.Fault != fault.Invisible {
+		t.Fatalf("fault = %v, want invisible", ev.Fault)
+	}
+	if o.Content() != v1 {
+		t.Errorf("content = %s, want 1", o.Content())
+	}
+	if old != v2 {
+		t.Errorf("old = %s, want exp=2 (pretend success)", old)
+	}
+}
+
+func TestInvisibleFaultExplicitReturn(t *testing.T) {
+	b := unboundedBudget()
+	policy := fault.PolicyFunc(func(op fault.Op) fault.Proposal {
+		return fault.Proposal{Kind: fault.Invisible, Return: v3}
+	})
+	o := NewCAS(0, b, policy)
+	old, ev := o.Apply(0, word.Bottom, v1)
+	if old != v3 || ev.Fault != fault.Invisible {
+		t.Errorf("old = %s fault = %v, want 3/invisible", old, ev.Fault)
+	}
+}
+
+func TestArbitraryFaultSemantics(t *testing.T) {
+	b := unboundedBudget()
+	policy := fault.PolicyFunc(func(op fault.Op) fault.Proposal {
+		return fault.Proposal{Kind: fault.Arbitrary, Write: v3}
+	})
+	o := NewCAS(0, b, policy)
+
+	old, ev := o.Apply(0, word.Bottom, v1)
+	if old != word.Bottom {
+		t.Errorf("old = %s, want ⊥ (arbitrary fault keeps old correct)", old)
+	}
+	if o.Content() != v3 {
+		t.Errorf("content = %s, want 3 (arbitrary write)", o.Content())
+	}
+	if ev.Fault != fault.Arbitrary {
+		t.Errorf("fault = %v", ev.Fault)
+	}
+}
+
+func TestArbitraryFaultUnobservableWhenMatchingSpec(t *testing.T) {
+	b := unboundedBudget()
+	// Proposes writing exactly what the spec would write.
+	policy := fault.PolicyFunc(func(op fault.Op) fault.Proposal {
+		correct := op.Current
+		if op.Current == op.Exp {
+			correct = op.New
+		}
+		return fault.Proposal{Kind: fault.Arbitrary, Write: correct}
+	})
+	o := NewCAS(0, b, policy)
+	_, ev := o.Apply(0, word.Bottom, v1)
+	if ev.Fault != fault.None {
+		t.Errorf("spec-matching arbitrary write is unobservable, got %v", ev.Fault)
+	}
+	if b.TotalFaults() != 0 {
+		t.Error("unobservable arbitrary fault must not be charged")
+	}
+}
+
+func TestNonresponsiveFaultChargesAndReports(t *testing.T) {
+	b := unboundedBudget()
+	o := NewCAS(0, b, fault.Always(fault.Nonresponsive))
+	_, ev := o.Apply(0, word.Bottom, v1)
+	if ev.Fault != fault.Nonresponsive {
+		t.Fatalf("fault = %v", ev.Fault)
+	}
+	if b.Faults(0) != 1 {
+		t.Error("nonresponsive fault must be charged")
+	}
+}
+
+func TestCorruptIsDataFault(t *testing.T) {
+	o := NewCAS(0, nil, nil)
+	o.Apply(0, word.Bottom, v1)
+	displaced := o.Corrupt(v2)
+	if displaced != v1 {
+		t.Errorf("displaced = %s, want 1", displaced)
+	}
+	if o.Content() != v2 {
+		t.Errorf("content = %s, want 2", o.Content())
+	}
+}
+
+func TestResetRestoresBottom(t *testing.T) {
+	o := NewCAS(0, nil, nil)
+	o.Apply(0, word.Bottom, v1)
+	o.Reset()
+	if o.Content() != word.Bottom {
+		t.Error("Reset must restore ⊥")
+	}
+}
+
+func TestEventRecordsPrePost(t *testing.T) {
+	b := unboundedBudget()
+	o := NewCAS(3, b, fault.Always(fault.Overriding))
+	o.Apply(0, word.Bottom, v1)
+	_, ev := o.Apply(1, word.Bottom, v2)
+	if ev.Object != 3 || ev.Proc != 1 {
+		t.Errorf("event ids: %+v", ev)
+	}
+	if ev.Pre != v1 || ev.Post != v2 || ev.Old != v1 || ev.Exp != word.Bottom || ev.New != v2 {
+		t.Errorf("event fields wrong: %+v", ev)
+	}
+}

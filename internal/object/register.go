@@ -1,0 +1,53 @@
+package object
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+// Register is an atomic read/write register. The paper's impossibility
+// result for unbounded faults (Theorem 18) permits protocols an unbounded
+// number of reliable read/write registers alongside the faulty CAS objects;
+// Register provides them. It is always reliable.
+type Register struct {
+	id      int
+	content word.Word
+}
+
+// NewRegister returns a register initialized to ⊥.
+func NewRegister(id int) *Register { return &Register{id: id} }
+
+// ID returns the register's id.
+func (r *Register) ID() int { return r.id }
+
+// Content returns the current content without taking a step (monitor-side).
+func (r *Register) Content() word.Word { return r.content }
+
+// Read performs an atomic read step by the simulated process p.
+func (r *Register) Read(p *sim.Proc) word.Word {
+	var v word.Word
+	p.Exec(func() {
+		v = r.content
+		p.Record(trace.Event{
+			Kind:   trace.EventRead,
+			Proc:   p.ID(),
+			Object: r.id,
+			Value:  v,
+		})
+	})
+	return v
+}
+
+// Write performs an atomic write step by the simulated process p.
+func (r *Register) Write(p *sim.Proc, v word.Word) {
+	p.Exec(func() {
+		r.content = v
+		p.Record(trace.Event{
+			Kind:   trace.EventWrite,
+			Proc:   p.ID(),
+			Object: r.id,
+			Value:  v,
+		})
+	})
+}

@@ -1,0 +1,95 @@
+// Package run wires a consensus protocol to the deterministic simulator and
+// evaluates the consensus correctness conditions of Section 2 of the paper:
+// validity (the decision is some process's input), consistency (all deciders
+// agree), and wait-freedom (every process decides within its step bound).
+package run
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/object"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+// Programs builds one simulator program per input value, each executing the
+// protocol against the shared bank.
+func Programs(proto core.Protocol, bank *object.Bank, inputs []int64) []sim.Program {
+	progs := make([]sim.Program, len(inputs))
+	for i, input := range inputs {
+		input := input
+		progs[i] = func(p *sim.Proc) word.Word {
+			return word.FromValue(proto.Decide(bank.Bind(p), input))
+		}
+	}
+	return progs
+}
+
+// Config describes one simulated consensus execution.
+type Config struct {
+	Protocol core.Protocol
+	// Inputs holds one input value per process; len(Inputs) is n.
+	Inputs []int64
+	// Scheduler chooses the interleaving; defaults to round-robin.
+	Scheduler sim.Scheduler
+	// Budget limits faults per Definition 3; nil means no faults admitted.
+	Budget *fault.Budget
+	// Policy proposes faults; nil means none.
+	Policy fault.Policy
+	// Trace enables event recording.
+	Trace bool
+	// Observer, when non-nil, sees every recorded event (requires Trace
+	// or is invoked with synthesized events).
+	Observer func(trace.Event)
+	// StepLimit overrides the protocol's StepBound when positive.
+	StepLimit int
+}
+
+// Result bundles the simulation outcome with its verdict.
+type Result struct {
+	Sim     *sim.Result
+	Verdict Verdict
+	Bank    *object.Bank
+}
+
+// Consensus runs one execution and evaluates it. An error is returned only
+// for framework-level failures (program panic); a wait-freedom violation is
+// reported through the verdict, since for the impossibility experiments a
+// violation is the expected observation, not an error.
+func Consensus(cfg Config) (*Result, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("run: no protocol")
+	}
+	if len(cfg.Inputs) == 0 {
+		return nil, fmt.Errorf("run: no inputs")
+	}
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = sim.NewRoundRobin()
+	}
+	bank := object.NewBank(cfg.Protocol.Objects(), cfg.Budget, cfg.Policy)
+
+	limit := cfg.StepLimit
+	if limit <= 0 {
+		limit = cfg.Protocol.StepBound(len(cfg.Inputs))
+	}
+	simCfg := sim.Config{
+		Programs:  Programs(cfg.Protocol, bank, cfg.Inputs),
+		Scheduler: sched,
+		StepLimit: limit,
+		Observer:  cfg.Observer,
+	}
+	if cfg.Trace {
+		simCfg.Log = trace.New()
+	}
+
+	res, err := sim.Run(simCfg)
+	if err != nil && res == nil {
+		return nil, err
+	}
+	verdict := Evaluate(cfg.Inputs, res, err)
+	return &Result{Sim: res, Verdict: verdict, Bank: bank}, nil
+}

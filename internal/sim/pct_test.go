@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestPCTRunsAllProcessesToCompletion(t *testing.T) {
+	c := &counter{}
+	prog := func(p *Proc) word.Word {
+		for i := 0; i < 4; i++ {
+			c.Incr(p)
+		}
+		return word.FromValue(int64(p.ID()))
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		c.n, c.order = 0, nil
+		res, err := Run(Config{
+			Programs:  []Program{prog, prog, prog},
+			Scheduler: NewPCT(seed, 12, 3),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ok := range res.Decided {
+			if !ok {
+				t.Fatalf("seed %d: process %d never decided (PCT starved it)", seed, i)
+			}
+		}
+		if c.n != 12 {
+			t.Fatalf("seed %d: counter = %d", seed, c.n)
+		}
+	}
+}
+
+func TestPCTProducesSoloBursts(t *testing.T) {
+	// Without change points (depth 1), PCT runs strict priority order:
+	// one process runs solo to completion, then the next — exactly the
+	// shape the impossibility proofs need.
+	c := &counter{}
+	prog := func(p *Proc) word.Word {
+		c.Incr(p)
+		c.Incr(p)
+		return word.Bottom
+	}
+	_, err := Run(Config{
+		Programs:  []Program{prog, prog},
+		Scheduler: NewPCT(3, 4, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The order must be a solo burst: [a a b b] for some a ≠ b.
+	if c.order[0] != c.order[1] || c.order[2] != c.order[3] || c.order[0] == c.order[2] {
+		t.Fatalf("depth-1 PCT order = %v, want two solo bursts", c.order)
+	}
+}
+
+func TestPCTSeedDeterminism(t *testing.T) {
+	runOnce := func(seed int64) []int {
+		c := &counter{}
+		prog := func(p *Proc) word.Word {
+			for i := 0; i < 3; i++ {
+				c.Incr(p)
+			}
+			return word.Bottom
+		}
+		if _, err := Run(Config{
+			Programs:  []Program{prog, prog, prog},
+			Scheduler: NewPCT(seed, 9, 3),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return c.order
+	}
+	a, b := runOnce(11), runOnce(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestPCTParameterClamping(t *testing.T) {
+	s := NewPCT(1, 0, 0) // degenerate params must not panic
+	if pick, ok := s.Next([]int{0, 1}); !ok || (pick != 0 && pick != 1) {
+		t.Fatalf("pick = %d, ok = %v", pick, ok)
+	}
+}

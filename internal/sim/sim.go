@@ -1,0 +1,355 @@
+// Package sim implements the shared-memory execution model of Section 2 of
+// the paper as a deterministic cooperative simulator.
+//
+// A fixed collection of virtual processes communicates through shared
+// objects. Each shared-object operation (invocation and response folded
+// together) is one atomic step; between steps a process performs only local
+// computation, which is invisible to other processes and therefore needs no
+// scheduling decision. A pluggable Scheduler chooses which process takes the
+// next step, so an execution is an alternating sequence of states and steps
+// fully determined by (programs, scheduler choices, fault choices) — the
+// property the model checker in internal/explore relies on.
+//
+// Mechanically, every process runs in its own goroutine but is gated: before
+// each atomic step it parks and waits for a grant from the runner. The runner
+// grants exactly one process at a time, so the simulation is sequentially
+// consistent and race-free by construction even though programs are written
+// as ordinary straight-line Go code.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+// Program is the code of one process: it receives its process handle and
+// returns its decision value. Programs must be deterministic and must touch
+// shared state only through Proc.Exec (shared objects do this internally).
+type Program func(p *Proc) word.Word
+
+// Scheduler picks the next process to take an atomic step.
+type Scheduler interface {
+	// Next receives the ids of processes currently able to step, sorted
+	// ascending and non-empty, and returns the chosen id. Returning
+	// ok=false stops the execution immediately, abandoning the remaining
+	// processes — the adversarial "halt" used by covering arguments.
+	Next(enabled []int) (id int, ok bool)
+}
+
+// SchedulerFunc adapts a function to the Scheduler interface.
+type SchedulerFunc func(enabled []int) (int, bool)
+
+// Next implements Scheduler.
+func (f SchedulerFunc) Next(enabled []int) (int, bool) { return f(enabled) }
+
+// Config describes one execution.
+type Config struct {
+	// Programs holds one program per process; process ids are indices.
+	Programs []Program
+	// Scheduler chooses the interleaving. Required.
+	Scheduler Scheduler
+	// StepLimit bounds the number of atomic steps any single process may
+	// take. Exceeding it is reported as a wait-freedom violation. 0 means
+	// DefaultStepLimit.
+	StepLimit int
+	// Log, when non-nil, records every step. Shared objects append their
+	// events through Proc.Record.
+	Log *trace.Log
+	// Observer, when non-nil, is called synchronously after each recorded
+	// event. Adversaries use it to track protocol behaviour.
+	Observer func(trace.Event)
+}
+
+// DefaultStepLimit is the per-process step bound used when Config.StepLimit
+// is zero. It is deliberately large: protocols declare their own bounds.
+const DefaultStepLimit = 1 << 20
+
+// Result describes a completed (or stopped) execution.
+type Result struct {
+	// Decided[i] reports whether process i returned a decision.
+	Decided []bool
+	// Decisions[i] is process i's decision value (valid when Decided[i]).
+	Decisions []word.Word
+	// Steps[i] is the number of atomic steps process i took.
+	Steps []int
+	// Stalled[i] reports that process i was parked forever by a
+	// nonresponsive fault.
+	Stalled []bool
+	// Stopped reports that the scheduler abandoned the execution while
+	// some processes had not decided.
+	Stopped bool
+	// Log is the recorded trace (nil if none was configured).
+	Log *trace.Log
+}
+
+// DecidedValues returns the decisions of all processes that decided.
+func (r *Result) DecidedValues() []word.Word {
+	var out []word.Word
+	for i, ok := range r.Decided {
+		if ok {
+			out = append(out, r.Decisions[i])
+		}
+	}
+	return out
+}
+
+// ErrWaitFreedom reports a process exceeding its step limit: under a correct
+// wait-free protocol and budget-respecting faults this must never happen.
+var ErrWaitFreedom = errors.New("sim: step limit exceeded (wait-freedom violation)")
+
+// PanicError wraps a panic raised inside a program.
+type PanicError struct {
+	Proc  int
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: process %d panicked: %v", e.Proc, e.Value)
+}
+
+type eventKind int
+
+const (
+	evParked   eventKind = iota // process waits for its next step grant
+	evFinished                  // process returned a decision
+	evStalled                   // process parked forever (nonresponsive fault)
+	evPanicked                  // process panicked
+)
+
+type procEvent struct {
+	id       int
+	kind     eventKind
+	decision word.Word
+	panicVal any
+}
+
+// abortSignal is panicked inside abandoned process goroutines and swallowed
+// by the process wrapper.
+type abortSignal struct{}
+
+// stallSignal is panicked by Proc.Stall to unwind a nonresponsive process.
+type stallSignal struct{}
+
+// Proc is the handle a program uses to interact with the simulation.
+type Proc struct {
+	id int
+	r  *runner
+}
+
+// ID returns the process id (its index in Config.Programs).
+func (p *Proc) ID() int { return p.id }
+
+// Exec performs one atomic step: it parks until the scheduler grants this
+// process the next step, runs op, and returns. op runs while the process
+// exclusively holds the step token, so it may freely touch shared objects.
+func (p *Proc) Exec(op func()) {
+	r := p.r
+	select {
+	case r.events <- procEvent{id: p.id, kind: evParked}:
+	case <-r.abort:
+		panic(abortSignal{})
+	}
+	select {
+	case <-r.grant[p.id]:
+	case <-r.abort:
+		panic(abortSignal{})
+	}
+	op()
+}
+
+// Record appends an event to the execution trace and notifies the observer.
+// It must be called only from inside an Exec op (shared objects do).
+func (p *Proc) Record(e trace.Event) { p.r.record(e) }
+
+// Stall parks the process forever, modeling a nonresponsive fault: the
+// operation never returns, and the process never decides. It must be called
+// from inside an Exec op.
+func (p *Proc) Stall() {
+	panic(stallSignal{})
+}
+
+type runner struct {
+	cfg    Config
+	n      int
+	grant  []chan struct{}
+	events chan procEvent
+	abort  chan struct{}
+
+	decided   []bool
+	decisions []word.Word
+	steps     []int
+	stalled   []bool
+	parked    []bool
+	liveCount int // processes neither finished nor stalled nor panicked
+}
+
+func (r *runner) record(e trace.Event) {
+	if r.cfg.Log != nil {
+		r.cfg.Log.Append(e)
+		if r.cfg.Observer != nil {
+			evs := r.cfg.Log.Events()
+			r.cfg.Observer(evs[len(evs)-1])
+		}
+		return
+	}
+	if r.cfg.Observer != nil {
+		r.cfg.Observer(e)
+	}
+}
+
+// Run executes one simulation to completion and returns its result.
+//
+// The execution ends when every process has decided (or stalled), when the
+// scheduler stops it, or when an error (wait-freedom violation, panic)
+// occurs. Run never returns both a nil Result and a nil error.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Programs) == 0 {
+		return nil, errors.New("sim: no programs")
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("sim: no scheduler")
+	}
+	limit := cfg.StepLimit
+	if limit <= 0 {
+		limit = DefaultStepLimit
+	}
+
+	n := len(cfg.Programs)
+	r := &runner{
+		cfg:       cfg,
+		n:         n,
+		grant:     make([]chan struct{}, n),
+		events:    make(chan procEvent),
+		abort:     make(chan struct{}),
+		decided:   make([]bool, n),
+		decisions: make([]word.Word, n),
+		steps:     make([]int, n),
+		stalled:   make([]bool, n),
+		parked:    make([]bool, n),
+		liveCount: n,
+	}
+	for i := range r.grant {
+		r.grant[i] = make(chan struct{})
+	}
+
+	for i, prog := range cfg.Programs {
+		go r.procMain(i, prog)
+	}
+	// Whatever happens, release abandoned goroutines on exit.
+	defer close(r.abort)
+
+	// Collection phase: wait until every process is parked at its first
+	// step or already finished. Processes that finish without taking any
+	// step have their decide events appended afterwards in id order, so
+	// the trace stays deterministic despite concurrent starts.
+	earlyFinish := []int{}
+	pending := n
+	for pending > 0 {
+		ev := <-r.events
+		switch ev.kind {
+		case evParked:
+			r.parked[ev.id] = true
+		case evFinished:
+			r.decided[ev.id] = true
+			r.decisions[ev.id] = ev.decision
+			r.liveCount--
+			earlyFinish = append(earlyFinish, ev.id)
+		case evPanicked:
+			return nil, &PanicError{Proc: ev.id, Value: ev.panicVal}
+		case evStalled:
+			// Cannot happen before the first grant.
+			return nil, fmt.Errorf("sim: process %d stalled before its first step", ev.id)
+		}
+		pending--
+	}
+	sort.Ints(earlyFinish)
+	for _, id := range earlyFinish {
+		r.record(trace.Event{Kind: trace.EventDecide, Proc: id, Value: r.decisions[id]})
+	}
+
+	// Main loop: grant one step at a time.
+	for r.liveCount > 0 {
+		enabled := make([]int, 0, n)
+		for id := 0; id < n; id++ {
+			if r.parked[id] {
+				enabled = append(enabled, id)
+			}
+		}
+		if len(enabled) == 0 {
+			// All live processes are stalled: nothing can ever step.
+			break
+		}
+		pick, ok := cfg.Scheduler.Next(enabled)
+		if !ok {
+			return r.result(true), nil
+		}
+		if !r.parked[pick] {
+			return nil, fmt.Errorf("sim: scheduler picked process %d which is not enabled", pick)
+		}
+		r.steps[pick]++
+		if r.steps[pick] > limit {
+			return r.result(false), fmt.Errorf("%w: process %d exceeded %d steps", ErrWaitFreedom, pick, limit)
+		}
+		r.parked[pick] = false
+		r.grant[pick] <- struct{}{}
+
+		// Only the granted process can emit the next event: everyone
+		// else is blocked waiting for a grant.
+		ev := <-r.events
+		switch ev.kind {
+		case evParked:
+			r.parked[ev.id] = true
+		case evFinished:
+			r.decided[ev.id] = true
+			r.decisions[ev.id] = ev.decision
+			r.liveCount--
+			r.record(trace.Event{Kind: trace.EventDecide, Proc: ev.id, Value: ev.decision})
+		case evStalled:
+			r.stalled[ev.id] = true
+			r.liveCount--
+		case evPanicked:
+			return nil, &PanicError{Proc: ev.id, Value: ev.panicVal}
+		}
+	}
+	return r.result(false), nil
+}
+
+func (r *runner) result(stopped bool) *Result {
+	return &Result{
+		Decided:   r.decided,
+		Decisions: r.decisions,
+		Steps:     r.steps,
+		Stalled:   r.stalled,
+		Stopped:   stopped,
+		Log:       r.cfg.Log,
+	}
+}
+
+func (r *runner) procMain(id int, prog Program) {
+	defer func() {
+		switch v := recover(); v.(type) {
+		case nil:
+		case abortSignal:
+			// Execution abandoned; exit silently.
+		case stallSignal:
+			select {
+			case r.events <- procEvent{id: id, kind: evStalled}:
+			case <-r.abort:
+			}
+		default:
+			select {
+			case r.events <- procEvent{id: id, kind: evPanicked, panicVal: v}:
+			case <-r.abort:
+			}
+		}
+	}()
+	dec := prog(&Proc{id: id, r: r})
+	select {
+	case r.events <- procEvent{id: id, kind: evFinished, decision: dec}:
+	case <-r.abort:
+	}
+}

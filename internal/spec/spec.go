@@ -1,0 +1,233 @@
+// Package spec implements the Hoare-triple machinery of Section 3.2 of the
+// paper: operation specifications Ψ{O}Φ expressed as assertions over
+// execution states, relaxed postconditions Φ′ characterizing functional
+// faults (Definition 1), and an execution auditor that classifies every
+// completed CAS invocation and decides which objects are faulty in an
+// execution (Definition 2).
+//
+// The auditor consumes the trace of a simulated execution — each CAS event
+// carries the register content before and after the step, the operation
+// arguments, and the returned old value — and is therefore a *monitor*: it
+// observes the very state the paper's assertions quantify over without
+// giving protocols any read capability.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+// State is the observable state of one CAS invocation: the register content
+// on entry (R′ in the paper's notation) and exit (R), the operation
+// arguments (exp, val), and the returned old value.
+type State struct {
+	Pre  word.Word // R′: register content on entry
+	Post word.Word // R: register content on return
+	Exp  word.Word // expected-value argument
+	New  word.Word // new-value argument
+	Old  word.Word // returned old value
+}
+
+// Assertion is a predicate over an invocation's observable state — the Φ
+// and Φ′ of Definition 1.
+type Assertion func(State) bool
+
+// Triple is a named correctness specification Ψ{O}Φ for the CAS operation.
+// The CAS precondition Ψ is trivially true (CAS accepts any register
+// content and arguments), so a Triple carries only the postcondition.
+type Triple struct {
+	Name string
+	Post Assertion
+}
+
+// Holds reports whether the postcondition is satisfied by the state.
+func (t Triple) Holds(s State) bool { return t.Post(s) }
+
+// CASSpec is the sequential specification Φ of CAS (Section 3.3):
+//
+//	R′ = exp ? (R = val ∧ old = R′) : (R = R′ ∧ old = R′)
+var CASSpec = Triple{
+	Name: "cas",
+	Post: func(s State) bool {
+		if s.Pre == s.Exp {
+			return s.Post == s.New && s.Old == s.Pre
+		}
+		return s.Post == s.Pre && s.Old == s.Pre
+	},
+}
+
+// OverridingSpec is the relaxed postcondition Φ′ of the overriding fault
+// (Section 3.3):
+//
+//	R = val ∧ old = R′
+var OverridingSpec = Triple{
+	Name: "overriding",
+	Post: func(s State) bool {
+		return s.Post == s.New && s.Old == s.Pre
+	},
+}
+
+// SilentSpec is the relaxed postcondition of the silent fault (Section
+// 3.4): the register does not change and the returned old value is correct
+// — even when the comparison succeeded.
+var SilentSpec = Triple{
+	Name: "silent",
+	Post: func(s State) bool {
+		return s.Post == s.Pre && s.Old == s.Pre
+	},
+}
+
+// InvisibleSpec is the relaxed postcondition of the invisible fault
+// (Section 3.4): the write behaviour follows the specification but the
+// returned old value is arbitrary.
+var InvisibleSpec = Triple{
+	Name: "invisible",
+	Post: func(s State) bool {
+		if s.Pre == s.Exp {
+			return s.Post == s.New
+		}
+		return s.Post == s.Pre
+	},
+}
+
+// ArbitrarySpec is the relaxed postcondition of the arbitrary fault
+// (Section 3.4): any value may be written, but the returned old value is
+// correct.
+var ArbitrarySpec = Triple{
+	Name: "arbitrary",
+	Post: func(s State) bool { return s.Old == s.Pre },
+}
+
+// Classify determines the fault class of one completed CAS invocation by
+// testing the observed state against Φ and the Φ′ hierarchy, most
+// structured first. It returns fault.None when the specification holds —
+// i.e. no ⟨CAS, Φ′⟩-fault occurred in this step (Definition 1).
+func Classify(s State) fault.Kind {
+	if CASSpec.Holds(s) {
+		return fault.None
+	}
+	// The comparison below mirrors Section 3.4's taxonomy: a fault that
+	// satisfies the overriding (resp. silent) Φ′ deviates only in the
+	// one-sided branch outcome; an incorrect old value is invisible; an
+	// unexplained written value is arbitrary.
+	if s.Old == s.Pre {
+		if s.Pre != s.Exp && OverridingSpec.Holds(s) {
+			return fault.Overriding
+		}
+		if s.Pre == s.Exp && SilentSpec.Holds(s) {
+			return fault.Silent
+		}
+		return fault.Arbitrary
+	}
+	if InvisibleSpec.Holds(s) {
+		return fault.Invisible
+	}
+	// Both the old value and the written value deviate: data-fault-grade
+	// corruption, reported as arbitrary.
+	return fault.Arbitrary
+}
+
+// StateOf extracts the invocation state from a CAS trace event.
+func StateOf(e trace.Event) State {
+	return State{Pre: e.Pre, Post: e.Post, Exp: e.Exp, New: e.New, Old: e.Old}
+}
+
+// Audit is the per-execution fault account of Definition 2/3.
+type Audit struct {
+	// Total is the number of CAS invocations audited.
+	Total int
+	// Faults counts classified faults per object per kind.
+	Faults map[int]map[fault.Kind]int
+	// Mismatches lists events whose classification disagrees with the
+	// fault kind the injector recorded — always empty unless the
+	// framework itself is buggy; the test suite asserts on it.
+	Mismatches []trace.Event
+}
+
+// FaultyObjects returns the ids of objects that manifested at least one
+// fault in the execution (Definition 2), in unspecified order.
+func (a *Audit) FaultyObjects() []int {
+	var ids []int
+	for id, kinds := range a.Faults {
+		total := 0
+		for _, n := range kinds {
+			total += n
+		}
+		if total > 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// ObjectFaults returns the total faults classified on the object.
+func (a *Audit) ObjectFaults(id int) int {
+	total := 0
+	for _, n := range a.Faults[id] {
+		total += n
+	}
+	return total
+}
+
+// Tolerable reports whether the execution stayed within an (f, t) budget in
+// the sense of Definition 3: at most f faulty objects, at most t faults per
+// faulty object (t = fault.Unbounded for no per-object bound).
+func (a *Audit) Tolerable(f, t int) bool {
+	if len(a.FaultyObjects()) > f {
+		return false
+	}
+	if t == fault.Unbounded {
+		return true
+	}
+	for _, id := range a.FaultyObjects() {
+		if a.ObjectFaults(id) > t {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the audit.
+func (a *Audit) String() string {
+	return fmt.Sprintf("audit: %d CAS invocations, %d faulty objects, %d mismatches",
+		a.Total, len(a.FaultyObjects()), len(a.Mismatches))
+}
+
+// AuditTrace classifies every CAS event of an execution trace and
+// aggregates the result. The trace carries the injector's own fault label
+// per event; any disagreement between label and classification is reported
+// as a mismatch (a meta-check that the fault injector implements exactly
+// the Φ′ it claims).
+func AuditTrace(log *trace.Log) *Audit {
+	a := &Audit{Faults: make(map[int]map[fault.Kind]int)}
+	for _, e := range log.Events() {
+		if e.Kind != trace.EventCAS {
+			continue
+		}
+		a.Total++
+		got := Classify(StateOf(e))
+		if got != e.Fault {
+			// Nonresponsive events never return, so they cannot be
+			// classified from a completed invocation; tolerate the
+			// label.
+			if e.Fault == fault.Nonresponsive {
+				continue
+			}
+			a.Mismatches = append(a.Mismatches, e)
+			continue
+		}
+		if got == fault.None {
+			continue
+		}
+		kinds := a.Faults[e.Object]
+		if kinds == nil {
+			kinds = make(map[fault.Kind]int)
+			a.Faults[e.Object] = kinds
+		}
+		kinds[got]++
+	}
+	return a
+}

@@ -1,0 +1,80 @@
+// Package stats provides the small set of summary statistics the benchmark
+// harness reports: mean, min/max, and percentiles over samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds summary statistics of a sample set.
+type Summary struct {
+	N    int
+	Mean float64
+	Min  float64
+	Max  float64
+	P50  float64
+	P95  float64
+	P99  float64
+}
+
+// Summarize computes summary statistics. An empty sample yields a zero
+// Summary.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		N:    len(sorted),
+		Mean: sum / float64(len(sorted)),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		P50:  Percentile(sorted, 50),
+		P95:  Percentile(sorted, 95),
+		P99:  Percentile(sorted, 99),
+	}
+}
+
+// SummarizeInts converts integer samples and summarizes them.
+func SummarizeInts(samples []int) Summary {
+	fs := make([]float64, len(samples))
+	for i, v := range samples {
+		fs[i] = float64(v)
+	}
+	return Summarize(fs)
+}
+
+// Percentile returns the p-th percentile (0..100) of an ascending-sorted
+// sample, using nearest-rank with linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f min=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f",
+		s.N, s.Mean, s.Min, s.P50, s.P95, s.P99, s.Max)
+}

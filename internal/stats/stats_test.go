@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Min != 42 || s.Max != 42 || s.P50 != 42 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almostEqual(s.Mean, 3) || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !almostEqual(s.P50, 3) {
+		t.Errorf("P50 = %v, want 3", s.P50)
+	}
+}
+
+func TestSummarizeUnsortedInput(t *testing.T) {
+	a := Summarize([]float64{5, 1, 4, 2, 3})
+	b := Summarize([]float64{1, 2, 3, 4, 5})
+	if a != b {
+		t.Errorf("order sensitivity: %+v vs %+v", a, b)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Percentile(sorted, 50); !almostEqual(got, 5) {
+		t.Errorf("P50 = %v, want 5", got)
+	}
+	if got := Percentile(sorted, 0); got != 0 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(sorted, 100); got != 10 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{2, 4, 6})
+	if !almostEqual(s.Mean, 4) || s.N != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummaryBoundsProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		fs := make([]float64, len(raw))
+		for i, v := range raw {
+			fs[i] = float64(v)
+		}
+		s := Summarize(fs)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if Summarize([]float64{1, 2}).String() == "" {
+		t.Error("empty string")
+	}
+}

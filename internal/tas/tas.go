@@ -1,0 +1,143 @@
+// Package tas extends the functional-fault framework to a second object
+// type — test-and-set — pursuing the paper's closing question (Section 7):
+// "examine other widely used functions with natural faults and understand
+// whether they can be overcome with clever constructions."
+//
+// A test-and-set bit sits at level 2 of the Herlihy hierarchy: with two
+// read/write registers it solves consensus for exactly two processes. Its
+// natural one-sided functional fault — the *lost-set* fault, where the
+// operation reports winning (returns 0) but fails to set the bit — is the
+// structural analog of the CAS silent fault. The contrast with the paper's
+// case study is sharp and instructive:
+//
+//   - An overriding-faulty CAS still solves 2-process consensus with
+//     unboundedly many faults (Theorem 4), because Φ′ keeps the returned
+//     old value truthful.
+//   - A lost-set-faulty TAS loses 2-process consensus after a SINGLE
+//     fault: the fault corrupts exactly the information (who won) that the
+//     protocol depends on, and the object offers no later correction.
+//
+// The package demonstrates both directions with executable evidence (see
+// the tests), giving an instance of the paper's open classification
+// question: which relaxed postconditions Φ′ are survivable is determined by
+// whether Φ′ preserves the bits the construction consumes.
+package tas
+
+import (
+	"repro/internal/fault"
+	"repro/internal/object"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+// Object is a test-and-set bit supporting only the TAS operation: it sets
+// the bit and returns its previous value (0 = the caller won).
+type Object struct {
+	id     int
+	set    bool
+	budget *fault.Budget
+	policy Policy
+}
+
+// Policy decides, per TAS invocation, whether the lost-set fault fires.
+type Policy interface {
+	// Decide reports whether to propose a lost-set fault for an
+	// invocation by proc while the bit has the given current state.
+	Decide(proc int, set bool) bool
+}
+
+// PolicyFunc adapts a function to Policy.
+type PolicyFunc func(proc int, set bool) bool
+
+// Decide implements Policy.
+func (f PolicyFunc) Decide(proc int, set bool) bool { return f(proc, set) }
+
+// Never returns a policy proposing no faults.
+func Never() Policy { return PolicyFunc(func(int, bool) bool { return false }) }
+
+// Always returns a policy proposing the lost-set fault on every invocation.
+func Always() Policy { return PolicyFunc(func(int, bool) bool { return true }) }
+
+// New returns a TAS object initialized to unset. budget and policy may be
+// nil for a fault-free object.
+func New(id int, budget *fault.Budget, policy Policy) *Object {
+	if policy == nil {
+		policy = Never()
+	}
+	return &Object{id: id, budget: budget, policy: policy}
+}
+
+// Set reports the current bit state (monitor-side; protocols only get the
+// TAS return value).
+func (o *Object) Set() bool { return o.set }
+
+// Apply executes one atomic TAS action without scheduling and returns the
+// previous bit value (0 or 1) and whether a lost-set fault fired.
+//
+// The specification Φ of TAS is: bit′ = 1 ∧ old = bit. The lost-set Φ′ is:
+// bit′ = bit ∧ old = bit — the returned old value is still truthful, but
+// the set is dropped. The fault is observable only when the bit was unset
+// (a set on an already-set bit is a no-op anyway), and only observable
+// faults consume budget, per Definition 1.
+func (o *Object) Apply(proc int) (old int, faulted bool) {
+	if o.set {
+		return 1, false
+	}
+	if o.policy.Decide(proc, o.set) && o.budget != nil && o.budget.Admits(o.id) {
+		o.budget.Charge(o.id)
+		return 0, true // lost set: report a win but leave the bit unset
+	}
+	o.set = true
+	return 0, false
+}
+
+// Invoke executes the TAS operation as one atomic step of the simulated
+// process p, recording a trace event.
+func (o *Object) Invoke(p *sim.Proc) int {
+	var old int
+	p.Exec(func() {
+		var faulted bool
+		old, faulted = o.Apply(p.ID())
+		kind := fault.None
+		if faulted {
+			kind = fault.Silent // the lost set is the TAS silent analog
+		}
+		post := word.FromValue(1)
+		if !o.set {
+			post = word.Bottom
+		}
+		pre := word.FromValue(1)
+		if old == 0 {
+			pre = word.Bottom
+		}
+		p.Record(trace.Event{
+			Kind:   trace.EventCAS, // recorded in the CAS event shape: exp=⊥, new=1
+			Proc:   p.ID(),
+			Object: o.id,
+			Exp:    word.Bottom,
+			New:    word.FromValue(1),
+			Pre:    pre,
+			Post:   post,
+			Old:    pre,
+			Fault:  kind,
+		})
+	})
+	return old
+}
+
+// TwoProcessConsensus is the classic 2-process consensus from one TAS bit
+// and two single-writer registers: each process announces its input in its
+// register, then races the TAS; the winner decides its own input, the loser
+// reads the winner's announcement.
+//
+// procID must be 0 or 1. With a fault-free TAS this satisfies validity,
+// consistency, and wait-freedom for two processes (TAS has consensus
+// number 2); with a single lost-set fault it does not — see the tests.
+func TwoProcessConsensus(p *sim.Proc, t *Object, announce [2]*object.Register, procID int, input int64) int64 {
+	announce[procID].Write(p, word.FromValue(input))
+	if t.Invoke(p) == 0 {
+		return input // won the race
+	}
+	return announce[1-procID].Read(p).Value()
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fault"
+)
+
+// Diagram renders the log as an ASCII space-time diagram: one column per
+// process, one row per atomic step, with register effects annotated — the
+// picture distributed-computing proofs are usually drawn with, generated
+// from the actual execution.
+//
+//	            p0                  p1                  p2
+//	#0   CAS(O0,⊥,10)→⊥✓   .                   .
+//	#1   .                  CAS(O0,⊥,11)→10⚡   .
+//	...
+//
+// ✓ marks a write per specification, ⚡ a functional fault, ✗ a no-op
+// (failed comparison). Decide and halt events span their process column.
+func (l *Log) Diagram() string {
+	procs := 0
+	for _, e := range l.events {
+		if e.Proc+1 > procs {
+			procs = e.Proc + 1
+		}
+	}
+	if procs == 0 {
+		return "(empty trace)\n"
+	}
+
+	const colWidth = 24
+	var b strings.Builder
+
+	// Header.
+	b.WriteString(fmt.Sprintf("%-6s", ""))
+	for p := 0; p < procs; p++ {
+		b.WriteString(fmt.Sprintf("%-*s", colWidth, fmt.Sprintf("p%d", p)))
+	}
+	b.WriteByte('\n')
+
+	cell := func(e Event) string {
+		switch e.Kind {
+		case EventCAS:
+			mark := "✗"
+			if e.Wrote() {
+				mark = "✓"
+			}
+			if e.Fault != fault.None {
+				mark = "⚡" + e.Fault.String()
+			}
+			return fmt.Sprintf("CAS(O%d,%s,%s)→%s%s", e.Object, e.Exp, e.New, e.Old, mark)
+		case EventRead:
+			return fmt.Sprintf("Read(R%d)→%s", e.Object, e.Value)
+		case EventWrite:
+			return fmt.Sprintf("Write(R%d,%s)", e.Object, e.Value)
+		case EventDecide:
+			return fmt.Sprintf("DECIDE %s", e.Value)
+		case EventHalt:
+			return "⟂ halted"
+		case EventCorrupt:
+			return fmt.Sprintf("DATA-FAULT O%d←%s", e.Object, e.Value)
+		default:
+			return string(e.Kind)
+		}
+	}
+
+	for _, e := range l.events {
+		b.WriteString(fmt.Sprintf("#%-5d", e.Index))
+		for p := 0; p < procs; p++ {
+			content := "."
+			// Corruption events belong to no process; render them in
+			// column 0 with a distinguishing prefix.
+			if p == e.Proc && e.Kind != EventCorrupt || (e.Kind == EventCorrupt && p == 0) {
+				content = cell(e)
+			}
+			b.WriteString(padDisplay(content, colWidth))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// padDisplay pads s with spaces to the given display width, counting runes
+// rather than bytes (the diagram uses ⊥, ⟨⟩, ✓, ⚡).
+func padDisplay(s string, width int) string {
+	n := 0
+	for range s {
+		n++
+	}
+	if n >= width {
+		return s + " "
+	}
+	return s + strings.Repeat(" ", width-n)
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/word"
+)
+
+func TestDiagramEmpty(t *testing.T) {
+	if got := New().Diagram(); !strings.Contains(got, "empty") {
+		t.Errorf("empty diagram = %q", got)
+	}
+}
+
+func TestDiagramLayout(t *testing.T) {
+	l := New()
+	l.Append(Event{Kind: EventCAS, Proc: 0, Object: 0,
+		Exp: word.Bottom, New: word.FromValue(10), Pre: word.Bottom,
+		Post: word.FromValue(10), Old: word.Bottom})
+	l.Append(Event{Kind: EventCAS, Proc: 1, Object: 0,
+		Exp: word.Bottom, New: word.FromValue(11), Pre: word.FromValue(10),
+		Post: word.FromValue(11), Old: word.FromValue(10), Fault: fault.Overriding})
+	l.Append(Event{Kind: EventDecide, Proc: 0, Value: word.FromValue(10)})
+	l.Append(Event{Kind: EventHalt, Proc: 1})
+	l.Append(Event{Kind: EventCorrupt, Object: 0, Value: word.FromValue(3)})
+
+	d := l.Diagram()
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	if len(lines) != 6 { // header + 5 events
+		t.Fatalf("diagram has %d lines:\n%s", len(lines), d)
+	}
+	if !strings.Contains(lines[0], "p0") || !strings.Contains(lines[0], "p1") {
+		t.Errorf("header missing process columns: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "✓") {
+		t.Errorf("successful CAS must be marked ✓: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "⚡overriding") {
+		t.Errorf("faulty CAS must be marked ⚡: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "DECIDE 10") {
+		t.Errorf("decide row: %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "halted") {
+		t.Errorf("halt row: %q", lines[4])
+	}
+	if !strings.Contains(lines[5], "DATA-FAULT") {
+		t.Errorf("corrupt row: %q", lines[5])
+	}
+	// The p1 event must appear in the second column: the p0 column for
+	// that row holds the placeholder dot.
+	if !strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(lines[2], "#1")), ".") {
+		t.Errorf("p1 row must show a placeholder in p0's column: %q", lines[2])
+	}
+}
+
+func TestDiagramFailedCASMark(t *testing.T) {
+	l := New()
+	l.Append(Event{Kind: EventCAS, Proc: 0, Object: 0,
+		Exp: word.FromValue(9), New: word.FromValue(1), Pre: word.Bottom,
+		Post: word.Bottom, Old: word.Bottom})
+	if !strings.Contains(l.Diagram(), "✗") {
+		t.Errorf("failed CAS must be marked ✗:\n%s", l.Diagram())
+	}
+}
+
+func TestDiagramRegisterOps(t *testing.T) {
+	l := New()
+	l.Append(Event{Kind: EventWrite, Proc: 0, Object: 2, Value: word.FromValue(5)})
+	l.Append(Event{Kind: EventRead, Proc: 1, Object: 2, Value: word.FromValue(5)})
+	d := l.Diagram()
+	if !strings.Contains(d, "Write(R2,5)") || !strings.Contains(d, "Read(R2)→5") {
+		t.Errorf("register ops missing:\n%s", d)
+	}
+}
+
+func TestPadDisplayCountsRunes(t *testing.T) {
+	padded := padDisplay("⊥⊥", 5)
+	n := 0
+	for range padded {
+		n++
+	}
+	if n != 5 {
+		t.Errorf("padDisplay produced %d runes, want 5 (%q)", n, padded)
+	}
+	// Over-long content still gets a separating space.
+	if got := padDisplay("abcdef", 3); got != "abcdef " {
+		t.Errorf("overflow padding = %q", got)
+	}
+}

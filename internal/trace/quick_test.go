@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/word"
+)
+
+// randomEvent derives a structurally valid event from raw fuzz values.
+func randomEvent(kindSel, proc, obj uint8, pre, post, old, exp, nw uint32, fk uint8) Event {
+	kinds := []EventKind{EventCAS, EventRead, EventWrite, EventDecide, EventCorrupt, EventHalt}
+	mk := func(v uint32) word.Word {
+		if v%5 == 0 {
+			return word.Bottom
+		}
+		return word.Pack(int64(v)&word.MaxValue, int64(v%7))
+	}
+	return Event{
+		Kind:   kinds[int(kindSel)%len(kinds)],
+		Proc:   int(proc % 8),
+		Object: int(obj % 8),
+		Pre:    mk(pre),
+		Post:   mk(post),
+		Old:    mk(old),
+		Exp:    mk(exp),
+		New:    mk(nw),
+		Fault:  fault.Kind(int(fk) % 6),
+		Value:  mk(pre ^ post),
+	}
+}
+
+func TestEventJSONRoundTripProperty(t *testing.T) {
+	prop := func(kindSel, proc, obj uint8, pre, post, old, exp, nw uint32, fk uint8) bool {
+		l := New()
+		l.Append(randomEvent(kindSel, proc, obj, pre, post, old, exp, nw, fk))
+		data, err := json.Marshal(l)
+		if err != nil {
+			return false
+		}
+		var back Log
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.Len() == 1 && back.Events()[0] == l.Events()[0]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventStringNeverEmptyProperty(t *testing.T) {
+	prop := func(kindSel, proc, obj uint8, pre, post, old, exp, nw uint32, fk uint8) bool {
+		e := randomEvent(kindSel, proc, obj, pre, post, old, exp, nw, fk)
+		return e.String() != ""
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagramTotalProperty(t *testing.T) {
+	// The diagram renderer must handle any event sequence without
+	// panicking and produce one row per event.
+	prop := func(raw []uint8) bool {
+		l := New()
+		for i := 0; i+1 < len(raw) && i < 20; i += 2 {
+			l.Append(randomEvent(raw[i], raw[i+1], raw[i], uint32(raw[i]),
+				uint32(raw[i+1]), uint32(raw[i]), uint32(raw[i+1]), uint32(raw[i]), raw[i+1]))
+		}
+		d := l.Diagram()
+		return d != ""
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

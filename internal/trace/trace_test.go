@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/word"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: EventCAS, Proc: 0, Object: 1, Exp: word.Bottom, New: word.FromValue(7),
+			Pre: word.Bottom, Post: word.FromValue(7), Old: word.Bottom},
+		{Kind: EventCAS, Proc: 1, Object: 1, Exp: word.Bottom, New: word.FromValue(9),
+			Pre: word.FromValue(7), Post: word.FromValue(9), Old: word.FromValue(7),
+			Fault: fault.Overriding},
+		{Kind: EventDecide, Proc: 0, Value: word.FromValue(7)},
+		{Kind: EventCorrupt, Object: 0, Value: word.FromValue(3), Pre: word.FromValue(7)},
+		{Kind: EventHalt, Proc: 2},
+		{Kind: EventRead, Proc: 1, Object: 4, Value: word.FromValue(5)},
+		{Kind: EventWrite, Proc: 1, Object: 4, Value: word.FromValue(6)},
+	}
+}
+
+func TestLogAppendAssignsIndices(t *testing.T) {
+	l := New()
+	for _, e := range sampleEvents() {
+		l.Append(e)
+	}
+	for i, e := range l.Events() {
+		if e.Index != i {
+			t.Errorf("event %d has index %d", i, e.Index)
+		}
+	}
+	if l.Len() != len(sampleEvents()) {
+		t.Errorf("Len() = %d, want %d", l.Len(), len(sampleEvents()))
+	}
+}
+
+func TestLogFaults(t *testing.T) {
+	l := New()
+	for _, e := range sampleEvents() {
+		l.Append(e)
+	}
+	faults := l.Faults()
+	if len(faults) != 1 {
+		t.Fatalf("Faults() returned %d events, want 1", len(faults))
+	}
+	if faults[0].Fault != fault.Overriding {
+		t.Errorf("fault kind = %v", faults[0].Fault)
+	}
+}
+
+func TestEventWrote(t *testing.T) {
+	e := Event{Pre: word.Bottom, Post: word.FromValue(1)}
+	if !e.Wrote() {
+		t.Error("changed content must report Wrote")
+	}
+	e.Post = word.Bottom
+	if e.Wrote() {
+		t.Error("unchanged content must not report Wrote")
+	}
+}
+
+func TestEventStringForms(t *testing.T) {
+	for _, e := range sampleEvents() {
+		s := e.String()
+		if s == "" {
+			t.Errorf("empty String() for %v", e.Kind)
+		}
+		if !strings.Contains(s, "#") {
+			t.Errorf("String() missing index marker: %q", s)
+		}
+	}
+	// A faulty CAS must advertise the fault.
+	faulty := sampleEvents()[1]
+	if !strings.Contains(faulty.String(), "FAULT[overriding]") {
+		t.Errorf("faulty CAS string lacks fault marker: %q", faulty.String())
+	}
+}
+
+func TestLogJSONRoundTrip(t *testing.T) {
+	l := New()
+	for _, e := range sampleEvents() {
+		l.Append(e)
+	}
+	data, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Log
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l.Len() {
+		t.Fatalf("round trip lost events: %d vs %d", back.Len(), l.Len())
+	}
+	for i, e := range back.Events() {
+		if e != l.Events()[i] {
+			t.Errorf("event %d differs after round trip:\n got %+v\nwant %+v", i, e, l.Events()[i])
+		}
+	}
+}
+
+func TestLogString(t *testing.T) {
+	l := New()
+	for _, e := range sampleEvents() {
+		l.Append(e)
+	}
+	s := l.String()
+	if got := strings.Count(s, "\n"); got != l.Len() {
+		t.Errorf("String() has %d lines, want %d", got, l.Len())
+	}
+}

@@ -1,0 +1,203 @@
+package valency
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+func cfgSingle(n int, faults int) Config {
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(10 + i)
+	}
+	c := Config{Protocol: core.SingleCAS{}, Inputs: in}
+	if faults != 0 {
+		c.FaultyObjects = []int{0}
+		c.FaultsPerObject = faults
+	}
+	return c
+}
+
+func TestInitialStateIsMultivalent(t *testing.T) {
+	// Validity forces the initial state multivalent with distinct inputs
+	// (the observation opening the Theorem 18 proof).
+	v, err := Compute(cfgSingle(2, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Multivalent() {
+		t.Fatalf("initial state: %s", v)
+	}
+	if len(v.Values) != 2 || v.Values[0] != 10 || v.Values[1] != 11 {
+		t.Fatalf("values = %v, want [10 11]", v.Values)
+	}
+	if v.Violated {
+		t.Error("fault-free executions must not violate")
+	}
+	if v.Executions != 2 {
+		t.Errorf("executions = %d, want 2", v.Executions)
+	}
+}
+
+func TestFirstStepDecides(t *testing.T) {
+	// After p0's CAS, only p0's input remains reachable: the scheduler
+	// choice out of the initial state is a decision step.
+	v, err := Compute(cfgSingle(2, 0), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Univalent() || v.Values[0] != 10 {
+		t.Fatalf("after p0's step: %s", v)
+	}
+	v, err = Compute(cfgSingle(2, 0), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Univalent() || v.Values[0] != 11 {
+		t.Fatalf("after p1's step: %s", v)
+	}
+}
+
+func TestEqualInputsAreUnivalentFromTheStart(t *testing.T) {
+	cfg := Config{Protocol: core.SingleCAS{}, Inputs: []int64{7, 7}}
+	v, err := Compute(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Univalent() || v.Values[0] != 7 {
+		t.Fatalf("equal inputs: %s", v)
+	}
+}
+
+func TestValenceUnderTheorem4Faults(t *testing.T) {
+	// With unbounded overriding faults and two processes (Theorem 4's
+	// setting) the system stays correct: the initial state is exactly
+	// {10, 11}-valent and no extension violates.
+	v, err := Compute(cfgSingle(2, fault.Unbounded), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Violated {
+		t.Fatal("Theorem 4 configuration must have no violating extension")
+	}
+	if len(v.Values) != 2 {
+		t.Fatalf("values = %v", v.Values)
+	}
+}
+
+func TestValenceDetectsTheorem18Violations(t *testing.T) {
+	v, err := Compute(cfgSingle(3, fault.Unbounded), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Violated {
+		t.Fatal("three processes with unbounded faults must reach violations")
+	}
+}
+
+func TestChildArity(t *testing.T) {
+	// Initial state of the 2-process single-CAS system: the scheduler
+	// picks between 2 enabled processes.
+	arity, err := ChildArity(cfgSingle(2, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arity != 2 {
+		t.Fatalf("initial arity = %d, want 2", arity)
+	}
+	// After both steps the execution is over: no further choices.
+	arity, err = ChildArity(cfgSingle(2, 0), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arity != 1 {
+		// One enabled process remains; single-enabled picks consume no
+		// choice, so the frontier choice (if any) is the fault choice
+		// or nothing. Fault-free: nothing.
+		if arity != 0 {
+			t.Fatalf("post-step arity = %d, want 0 or 1", arity)
+		}
+	}
+}
+
+func TestFindCriticalSingleCAS(t *testing.T) {
+	// The canonical FLP/Herlihy picture: for the single-CAS protocol the
+	// initial state itself is critical — every enabled step decides.
+	crit, err := FindCritical(cfgSingle(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crit.Prefix) != 0 {
+		t.Fatalf("critical prefix = %v, want the initial state", crit.Prefix)
+	}
+	if !crit.State.Multivalent() {
+		t.Fatal("critical state must be multivalent")
+	}
+	values := map[int64]bool{}
+	for _, ch := range crit.Children {
+		if !ch.Univalent() {
+			t.Fatalf("child not univalent: %s", ch)
+		}
+		values[ch.Values[0]] = true
+	}
+	if len(values) < 2 {
+		t.Fatalf("decision steps cover %v; a critical state needs ≥2 valencies", values)
+	}
+}
+
+func TestFindCriticalStaged(t *testing.T) {
+	// Figure 3's f=1, t=1 instance also has a critical state; verify the
+	// structural invariants hold wherever the walk lands.
+	cfg := Config{
+		Protocol:        core.NewStaged(1, 1),
+		Inputs:          []int64{10, 11},
+		FaultyObjects:   []int{0},
+		FaultsPerObject: 1,
+	}
+	crit, err := FindCritical(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crit.State.Multivalent() {
+		t.Fatal("critical state must be multivalent")
+	}
+	if len(crit.Children) < 2 {
+		t.Fatalf("critical state has %d children", len(crit.Children))
+	}
+	seen := map[int64]bool{}
+	for _, ch := range crit.Children {
+		if !ch.Univalent() {
+			t.Fatalf("child not univalent: %s", ch)
+		}
+		seen[ch.Values[0]] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("children valencies %v; want both values represented", seen)
+	}
+}
+
+func TestFindCriticalRejectsUnivalentStart(t *testing.T) {
+	cfg := Config{Protocol: core.SingleCAS{}, Inputs: []int64{7, 7}}
+	if _, err := FindCritical(cfg); err == nil {
+		t.Fatal("equal inputs must be rejected (initial state univalent)")
+	}
+}
+
+func TestValenceString(t *testing.T) {
+	v, err := Compute(cfgSingle(2, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() == "" {
+		t.Error("empty string")
+	}
+	u, err := Compute(cfgSingle(2, 0), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.String() == "" {
+		t.Error("empty string")
+	}
+}

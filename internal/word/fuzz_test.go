@@ -1,0 +1,29 @@
+package word
+
+import "testing"
+
+func FuzzPackRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(MaxValue), int64(MaxStage))
+	f.Add(int64(42), int64(7))
+	f.Fuzz(func(t *testing.T, value, stage int64) {
+		value &= MaxValue
+		stage &= MaxStage
+		if value < 0 {
+			value = -value & MaxValue
+		}
+		if stage < 0 {
+			stage = -stage & MaxStage
+		}
+		w := Pack(value, stage)
+		if w.IsBottom() {
+			t.Fatalf("Pack(%d,%d) is Bottom", value, stage)
+		}
+		if w.Value() != value || w.Stage() != stage {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d)", value, stage, w.Value(), w.Stage())
+		}
+		if w.WithStage(0).Value() != value {
+			t.Fatalf("WithStage lost value")
+		}
+	})
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Full reproduction pipeline: build, vet, test (unit + integration +
+# property + race on the concurrent substrate), regenerate every experiment
+# table, and run the benchmark suite. Outputs land next to this script's
+# repo root as test_output.txt / experiments_output.txt / bench_output.txt.
+#
+# Usage: scripts/reproduce.sh [-quick]
+set -e
+cd "$(dirname "$0")/.."
+
+QUICK=""
+if [ "$1" = "-quick" ]; then
+    QUICK="-quick"
+fi
+
+echo "== build & vet =="
+go build ./...
+go vet ./...
+
+echo "== tests =="
+go test ./... 2>&1 | tee test_output.txt
+
+echo "== race detector (concurrent substrates) =="
+go test -race ./internal/atomicx/ ./internal/history/ ./internal/core/ .
+
+echo "== experiments (tables for EXPERIMENTS.md) =="
+go run ./cmd/experiments $QUICK -seed 1 2>&1 | tee experiments_output.txt
+
+echo "== benchmarks =="
+if [ -n "$QUICK" ]; then
+    go test -bench=. -benchmem -benchtime=10x -run xxx . 2>&1 | tee bench_output.txt
+else
+    go test -bench=. -benchmem -run xxx . 2>&1 | tee bench_output.txt
+fi
+
+echo "== done: test_output.txt experiments_output.txt bench_output.txt =="
