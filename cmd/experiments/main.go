@@ -21,10 +21,11 @@ import (
 
 func main() {
 	var (
-		runID = flag.String("run", "", "run only the experiment with this id (e.g. E3)")
-		quick = flag.Bool("quick", false, "smaller sweeps and sample counts")
-		seed  = flag.Int64("seed", 1, "seed for randomized components")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		runID   = flag.String("run", "", "run only the experiment with this id (e.g. E3)")
+		quick   = flag.Bool("quick", false, "smaller sweeps and sample counts")
+		seed    = flag.Int64("seed", 1, "seed for randomized components")
+		workers = flag.Int("workers", 0, "exploration parallelism (0 = GOMAXPROCS); tables are identical for any value")
+		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Quick: *quick, Seed: *seed}
+	opts := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	if *runID != "" {
 		e, ok := harness.ByID(*runID)
 		if !ok {

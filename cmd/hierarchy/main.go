@@ -22,7 +22,8 @@ func main() {
 		t      = flag.Int("t", 1, "per-object fault bound")
 		runs   = flag.Int("stress", 400, "randomized runs per level when exhaustive checking is infeasible")
 		budget = flag.Int("budget", 20000, "execution cap for exhaustive checking per level")
-		seed   = flag.Int64("seed", 1, "seed for randomized fallback")
+		seed    = flag.Int64("seed", 1, "seed for randomized fallback")
+		workers = flag.Int("workers", 0, "exploration parallelism (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -30,6 +31,7 @@ func main() {
 		StressRuns:       *runs,
 		ExhaustiveBudget: *budget,
 		Seed:             *seed,
+		Workers:          *workers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hierarchy: %v\n", err)

@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/explore"
@@ -32,6 +35,9 @@ func main() {
 		unbounded = flag.Bool("unbounded", false, "unbounded faults per faulty object")
 		faulty    = flag.Int("faulty", -1, "number of faulty objects (default: all of the protocol's objects)")
 		maxExecs  = flag.Int("max", explore.DefaultMaxExecutions, "execution cap")
+		workers   = flag.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS); results are identical for any value")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the exploration (0 = none), e.g. 30s")
+		progress  = flag.Duration("progress", 0, "print throughput reports at this interval (0 = off), e.g. 2s")
 		jsonOut   = flag.Bool("json", false, "emit the counterexample trace as JSON")
 		diagram   = flag.Bool("diagram", false, "render the counterexample as a space-time diagram")
 	)
@@ -81,7 +87,21 @@ func main() {
 		inputs[i] = int64(10 + i)
 	}
 
-	out, err := explore.Check(explore.Config{
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	eng := &explore.Engine{Workers: *workers}
+	if *progress > 0 {
+		eng.ProgressEvery = *progress
+		eng.Progress = func(p explore.Progress) {
+			fmt.Fprintf(os.Stderr, "progress: %d executions, %.0f paths/sec, frontier %d, %s elapsed\n",
+				p.Executions, p.Rate, p.Frontier, p.Elapsed.Round(time.Millisecond))
+		}
+	}
+	out, err := eng.Check(ctx, explore.Config{
 		Protocol:        proto,
 		Inputs:          inputs,
 		FaultyObjects:   ids,
@@ -89,7 +109,8 @@ func main() {
 		Kind:            kind,
 		MaxExecutions:   *maxExecs,
 	})
-	if err != nil {
+	deadlineHit := errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !deadlineHit {
 		fmt.Fprintf(os.Stderr, "modelcheck: %v\n", err)
 		os.Exit(2)
 	}
@@ -100,17 +121,31 @@ func main() {
 	fmt.Printf("executions  : %d (complete: %v)\n", out.Executions, out.Complete)
 	fmt.Printf("max steps   : %d per process, max faults: %d per execution\n",
 		out.MaxProcSteps, out.MaxFaults)
+	if secs := out.Elapsed.Seconds(); secs > 0 {
+		fmt.Printf("engine      : %d workers, %.0f paths/sec, %s elapsed\n",
+			out.Workers, float64(out.Executions)/secs, out.Elapsed.Round(time.Millisecond))
+	}
+	if deadlineHit {
+		fmt.Printf("deadline    : %s exceeded — partial exploration\n", *deadline)
+	}
 
 	if out.Violation == nil {
-		if out.Complete {
+		switch {
+		case out.Complete:
 			fmt.Println("result      : VERIFIED — no execution violates consensus")
-		} else {
+		case deadlineHit:
+			fmt.Println("result      : NO VIOLATION FOUND (deadline exceeded; raise -deadline for certainty)")
+		default:
 			fmt.Println("result      : NO VIOLATION FOUND (cap reached; increase -max for certainty)")
 		}
 		return
 	}
 
-	fmt.Printf("result      : VIOLATION (%s)\n\n", out.Violation.Verdict.Violation)
+	fmt.Printf("result      : VIOLATION (%s)\n", out.Violation.Verdict.Violation)
+	if out.ViolationLatency > 0 {
+		fmt.Printf("latency     : first counterexample after %s\n", out.ViolationLatency.Round(time.Millisecond))
+	}
+	fmt.Println()
 	if *diagram {
 		fmt.Print(out.Violation.Trace.Diagram())
 		fmt.Println()

@@ -18,7 +18,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/sim"
 	"repro/internal/word"
 )
 
@@ -56,6 +58,16 @@ func NewFaultyBank(n int, budget *fault.Budget, rate float64, seed int64) *Bank 
 
 // Len returns the number of objects.
 func (b *Bank) Len() int { return len(b.words) }
+
+// Bind returns the bank as seen by one process. On real atomics the calling
+// goroutine is the process, so the simulator handle is ignored (nil is
+// fine); the bank itself is the environment. Bind exists so both substrates
+// satisfy the same run.Bank interface.
+func (b *Bank) Bind(_ *sim.Proc) core.Env { return b }
+
+// Contents returns the current register contents (an alias of Snapshot,
+// matching the simulator bank's monitor-side accessor).
+func (b *Bank) Contents() []word.Word { return b.Snapshot() }
 
 // Faults returns the number of overriding faults injected so far.
 func (b *Bank) Faults() int64 { return b.faults.Load() }

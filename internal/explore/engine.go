@@ -1,0 +1,371 @@
+package explore
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// Engine is the parallel exploration engine: a frontier of choice-path
+// prefixes sharded across workers, each worker running independent
+// stateless replays (an execution is a pure function of protocol, inputs,
+// and choice path, so subtrees explore with no shared state beyond the
+// frontier and the aggregated outcome).
+//
+// Determinism guarantees, independent of worker count and scheduling:
+//
+//   - A complete enumeration visits every leaf exactly once, so Executions,
+//     MaxProcSteps, and MaxFaults are identical for any Workers value.
+//   - The reported Violation is canonical: the lexicographically least
+//     violating choice path (default mode — the same counterexample the
+//     sequential Check finds first), or the violation with the shortest
+//     schedule, ties broken lexicographically (Exhaustive mode, matching
+//     FindMinimal's notion of minimality, made deterministic).
+//
+// In default mode a found violation does not cancel the other workers
+// outright; instead it becomes a pruning bound: subtrees lexicographically
+// at or above the best violation are abandoned, so only the work needed to
+// certify the canonical counterexample remains. Combined with
+// context.Context cancellation threaded through sim.Run, workers stop
+// promptly once nothing below the bound is left.
+type Engine struct {
+	// Workers is the number of parallel exploration workers; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Exhaustive keeps enumerating after a violation (no pruning), so the
+	// complete tree is visited and the minimal counterexample (shortest
+	// schedule) is reported — the parallel analogue of FindMinimal.
+	Exhaustive bool
+	// Progress, when non-nil, receives periodic throughput reports.
+	Progress func(Progress)
+	// ProgressEvery is the reporting period (default 2s).
+	ProgressEvery time.Duration
+}
+
+// Progress is one throughput report of a running exploration.
+type Progress struct {
+	// Executions is the number of replays completed so far.
+	Executions int64
+	// Rate is the recent throughput in paths per second.
+	Rate float64
+	// Frontier is the number of queued subtree roots.
+	Frontier int
+	// Violations is the number of violating executions seen so far.
+	Violations int64
+	// Elapsed is the wall-clock time since the exploration started.
+	Elapsed time.Duration
+}
+
+// engineRun is the shared state of one Engine.Check invocation.
+type engineRun struct {
+	cfg         Config
+	kind        fault.Kind
+	cap         int
+	stopOnFirst bool
+	lowWater    int
+	fr          *frontier
+	start       time.Time
+
+	execs      atomic.Int64
+	violations atomic.Int64
+	capped     atomic.Bool
+	// bound is the lex-least violating path found so far (pruning bound);
+	// nil until a violation is seen or in Exhaustive mode.
+	bound atomic.Pointer[[]int]
+
+	mu        sync.Mutex
+	best      *Counterexample
+	firstAt   time.Duration
+	maxSteps  int
+	maxFaults int
+	err       error
+	cancel    context.CancelFunc
+}
+
+// Check explores the execution tree with the engine's worker pool. The
+// returned Outcome matches the sequential Check on every deterministic
+// field (see the Engine doc comment). When ctx is cancelled or its deadline
+// passes, the partial outcome is returned together with ctx.Err().
+func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
+	kind, cap, err := cfg.prepare()
+	if err != nil {
+		return nil, err
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	r := &engineRun{
+		cfg:         cfg,
+		kind:        kind,
+		cap:         cap,
+		stopOnFirst: !e.Exhaustive,
+		lowWater:    2 * workers,
+		fr:          newFrontier(nil), // root: the empty prefix
+		start:       time.Now(),
+		cancel:      cancel,
+	}
+	// pop blocks on a condition variable, not on ctx: translate
+	// cancellation into a frontier abort so waiting workers wake up.
+	go func() {
+		<-ctx.Done()
+		r.fr.abort()
+	}()
+
+	stopProgress := e.startProgress(r)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.worker(ctx)
+		}()
+	}
+	wg.Wait()
+	stopProgress()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return nil, r.err
+	}
+	out := &Outcome{
+		Executions:       int(r.execs.Load()),
+		Violation:        r.best,
+		MaxProcSteps:     r.maxSteps,
+		MaxFaults:        r.maxFaults,
+		Workers:          workers,
+		Elapsed:          time.Since(r.start),
+		ViolationLatency: r.firstAt,
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	out.Complete = !r.capped.Load() && (r.best == nil || e.Exhaustive)
+	return out, nil
+}
+
+// FindMinimal is the parallel analogue of the package-level FindMinimal: it
+// enumerates the complete tree (no early exit) and returns the violating
+// execution with the shortest schedule (ties broken by lexicographic choice
+// path, so the result is deterministic), or nil if none exists.
+func (e *Engine) FindMinimal(ctx context.Context, cfg Config) (*Counterexample, *Outcome, error) {
+	exhaustive := *e
+	exhaustive.Exhaustive = true
+	out, err := exhaustive.Check(ctx, cfg)
+	if err != nil {
+		return nil, out, err
+	}
+	return out.Violation, out, nil
+}
+
+// worker pops subtree roots and enumerates them until the frontier drains.
+func (r *engineRun) worker(ctx context.Context) {
+	for {
+		prefix, ok := r.fr.pop()
+		if !ok {
+			return
+		}
+		r.runSubtree(ctx, prefix)
+		r.fr.done()
+	}
+}
+
+// runSubtree enumerates the subtree rooted at the given choice-path prefix
+// by stateless replay, donating sub-subtrees to the frontier whenever it
+// runs low.
+func (r *engineRun) runSubtree(ctx context.Context, prefix []int) {
+	c := &chooser{path: prefix, lb: len(prefix)}
+	var localSteps, localFaults int
+	defer func() {
+		r.mu.Lock()
+		if localSteps > r.maxSteps {
+			r.maxSteps = localSteps
+		}
+		if localFaults > r.maxFaults {
+			r.maxFaults = localFaults
+		}
+		r.mu.Unlock()
+	}()
+
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if r.pruned(c.path) {
+			// Replay visits leaves in lexicographic order, so once the
+			// next path reaches the bound the rest of the subtree can
+			// only contain larger counterexamples.
+			return
+		}
+		if !r.claim() {
+			return
+		}
+		c.arity = c.arity[:0]
+		c.pos = 0
+		ce, verdict, stats, err := runOnce(ctx, r.cfg, r.kind, c)
+		if err != nil {
+			if ctx.Err() == nil {
+				r.fail(err)
+			}
+			return
+		}
+		if stats.maxSteps > localSteps {
+			localSteps = stats.maxSteps
+		}
+		if stats.faults > localFaults {
+			localFaults = stats.faults
+		}
+		if !verdict.OK() {
+			r.recordViolation(ce, c.path)
+		}
+		if r.fr.starving(r.lowWater) {
+			if alts := c.donate(); alts != nil {
+				r.fr.push(alts)
+			}
+		}
+		if !c.next() {
+			return
+		}
+	}
+}
+
+// claim reserves one execution against the cap.
+func (r *engineRun) claim() bool {
+	for {
+		cur := r.execs.Load()
+		if cur >= int64(r.cap) {
+			r.capped.Store(true)
+			return false
+		}
+		if r.execs.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// pruned reports that every leaf below the path is lexicographically at or
+// above the current violation bound.
+func (r *engineRun) pruned(path []int) bool {
+	bound := r.bound.Load()
+	if bound == nil {
+		return false
+	}
+	return lexGE(path, *bound)
+}
+
+// lexGE compares a (possibly partial) choice path against a full leaf path:
+// the partial path stands for its own first-fill extension (zeros), which
+// orders before every longer continuation.
+func lexGE(path, leaf []int) bool {
+	for i := 0; i < len(path) && i < len(leaf); i++ {
+		if path[i] != leaf[i] {
+			return path[i] > leaf[i]
+		}
+	}
+	return len(path) >= len(leaf)
+}
+
+// recordViolation merges one violating execution into the shared outcome,
+// keeping the canonical counterexample and tightening the pruning bound.
+func (r *engineRun) recordViolation(ce *Counterexample, path []int) {
+	p := append([]int(nil), path...)
+	ce.Path = p
+	r.violations.Add(1)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.firstAt == 0 {
+		r.firstAt = time.Since(r.start)
+	}
+	if r.better(ce) {
+		r.best = ce
+		if r.stopOnFirst {
+			r.bound.Store(&p)
+		}
+	}
+}
+
+// better decides whether the candidate replaces the current best violation:
+// lexicographically least path in default mode (the sequential checker's
+// first), shortest schedule with lexicographic tie-break in Exhaustive mode.
+func (r *engineRun) better(cand *Counterexample) bool {
+	if r.best == nil {
+		return true
+	}
+	if !r.stopOnFirst && len(cand.Schedule) != len(r.best.Schedule) {
+		return len(cand.Schedule) < len(r.best.Schedule)
+	}
+	return lexLess(cand.Path, r.best.Path)
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// fail records the first framework error and cancels the exploration.
+func (r *engineRun) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+	r.cancel()
+}
+
+// startProgress launches the periodic throughput reporter and returns its
+// stop function.
+func (e *Engine) startProgress(r *engineRun) func() {
+	if e.Progress == nil {
+		return func() {}
+	}
+	every := e.ProgressEvery
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		var lastExecs int64
+		lastTime := r.start
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				execs := r.execs.Load()
+				rate := float64(execs-lastExecs) / now.Sub(lastTime).Seconds()
+				lastExecs, lastTime = execs, now
+				e.Progress(Progress{
+					Executions: execs,
+					Rate:       rate,
+					Frontier:   r.fr.pending(),
+					Violations: r.violations.Load(),
+					Elapsed:    time.Since(r.start),
+				})
+			}
+		}
+	}()
+	// Closing done stops the reporter; waiting for exited guarantees no
+	// Progress callback is in flight after the stop function returns.
+	return func() {
+		close(done)
+		<-exited
+	}
+}

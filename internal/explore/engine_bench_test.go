@@ -1,0 +1,75 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchConfig is the E5-style covering sweep workload: the staged protocol
+// for f=2 with three processes and every stage object faultable once — the
+// configuration whose covering adversary breaks agreement at n = f+2. Its
+// execution tree has millions of leaves, so each iteration explores a fixed
+// 4096-execution slab (the cap is claimed atomically, so the work per
+// iteration is identical for every worker count).
+func benchConfig() Config {
+	proto := core.NewStaged(2, 1)
+	objects := proto.Objects()
+	faulty := make([]int, objects)
+	for i := range faulty {
+		faulty[i] = i
+	}
+	return Config{
+		Protocol:        proto,
+		Inputs:          inputs(3),
+		FaultyObjects:   faulty,
+		FaultsPerObject: 1,
+		MaxExecutions:   4096,
+	}
+}
+
+// BenchmarkEngineCoveringSweep measures exploration throughput of the
+// parallel engine across worker counts. On a multicore machine the
+// paths/sec metric scales near-linearly up to the core count, because
+// replays are stateless and share only the frontier and the atomic
+// execution counter.
+func BenchmarkEngineCoveringSweep(b *testing.B) {
+	cfg := benchConfig()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := &Engine{Workers: w}
+			var execs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := eng.Check(context.Background(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Executions != cfg.MaxExecutions {
+					b.Fatalf("executions = %d, want %d", out.Executions, cfg.MaxExecutions)
+				}
+				execs += int64(out.Executions)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(execs)/b.Elapsed().Seconds(), "paths/sec")
+		})
+	}
+}
+
+// BenchmarkSequentialCoveringSweep is the baseline for the engine benchmark:
+// the sequential reference checker on the same 4096-execution slab.
+func BenchmarkSequentialCoveringSweep(b *testing.B) {
+	cfg := benchConfig()
+	var execs int64
+	for i := 0; i < b.N; i++ {
+		out, err := Check(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		execs += int64(out.Executions)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(execs)/b.Elapsed().Seconds(), "paths/sec")
+}

@@ -15,7 +15,10 @@
 package explore
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -26,6 +29,10 @@ import (
 )
 
 // Config describes the space of executions to explore.
+//
+// Deprecated: new code should describe explorations with the unified
+// functional options (CheckWith and the run.With... constructors); Config
+// remains as a thin shim for one release.
 type Config struct {
 	// Protocol under test. Required.
 	Protocol core.Protocol
@@ -90,6 +97,15 @@ type Outcome struct {
 	MaxProcSteps int
 	// MaxFaults is the largest total fault count observed in a run.
 	MaxFaults int
+	// Workers is the number of parallel workers used (1 for the
+	// sequential checker).
+	Workers int
+	// Elapsed is the wall-clock duration of the exploration (engine runs
+	// only; zero for the sequential checker).
+	Elapsed time.Duration
+	// ViolationLatency is the wall-clock time until the first violating
+	// execution was replayed (engine runs only; zero if none was found).
+	ViolationLatency time.Duration
 }
 
 // OK reports that no violation was found.
@@ -102,6 +118,11 @@ type chooser struct {
 	path  []int
 	arity []int
 	pos   int
+	// lb is the backtracking floor: next never retracts a choice at a
+	// position below lb. The sequential checker uses lb = 0 (the whole
+	// tree); an engine worker owns the subtree rooted at its prefix and
+	// sets lb = len(prefix).
+	lb int
 }
 
 func (c *chooser) choose(n int) int {
@@ -125,18 +146,48 @@ func (c *chooser) choose(n int) int {
 
 // next advances the path depth-first: it truncates to the deepest branch
 // point with an untaken alternative and increments it. It returns false when
-// the tree is exhausted.
+// the subtree above the backtracking floor is exhausted.
 func (c *chooser) next() bool {
 	i := len(c.path) - 1
-	for i >= 0 && c.path[i]+1 >= c.arity[i] {
+	for i >= c.lb && c.path[i]+1 >= c.arity[i] {
 		i--
 	}
-	if i < 0 {
+	if i < c.lb {
 		return false
 	}
 	c.path = c.path[:i+1]
 	c.path[i]++
 	return true
+}
+
+// donate carves off the untaken alternatives at the shallowest branch point
+// at or above the backtracking floor and returns them as subtree-root
+// prefixes, excluding them from this chooser's own enumeration. It returns
+// nil when the remaining subtree has no branch point to split. This is the
+// work-sharing primitive of the parallel engine, applied shallowest-first so
+// a donation is the largest subtree the worker can give away.
+//
+// donate must be called right after a replay, while the recorded arities
+// describe the current path. Because d is the shallowest branch point with
+// untaken alternatives, every position above it is exhausted for good (the
+// tree is deterministic), so raising the floor past d excludes exactly the
+// donated subtrees from this worker's future backtracking.
+func (c *chooser) donate() [][]int {
+	for d := c.lb; d < len(c.arity) && d < len(c.path); d++ {
+		if c.path[d]+1 >= c.arity[d] {
+			continue
+		}
+		alts := make([][]int, 0, c.arity[d]-c.path[d]-1)
+		for alt := c.path[d] + 1; alt < c.arity[d]; alt++ {
+			p := make([]int, d+1)
+			copy(p, c.path[:d])
+			p[d] = alt
+			alts = append(alts, p)
+		}
+		c.lb = d + 1
+		return alts
+	}
+	return nil
 }
 
 // observable reports whether injecting the fault kind on this invocation
@@ -153,32 +204,69 @@ func observable(kind fault.Kind, op fault.Op) bool {
 	}
 }
 
-// Check exhaustively explores the execution tree and returns the outcome.
-func Check(cfg Config) (*Outcome, error) {
+// prepare validates the configuration and resolves the effective fault kind
+// and execution cap — shared by the sequential checker and the parallel
+// engine.
+func (cfg *Config) prepare() (kind fault.Kind, cap int, err error) {
 	if cfg.Protocol == nil {
-		return nil, fmt.Errorf("explore: no protocol")
+		return 0, 0, fmt.Errorf("explore: no protocol")
 	}
 	if len(cfg.Inputs) == 0 {
-		return nil, fmt.Errorf("explore: no inputs")
+		return 0, 0, fmt.Errorf("explore: no inputs")
 	}
-	kind := cfg.Kind
+	kind = cfg.Kind
 	if kind == fault.None {
 		kind = fault.Overriding
 	}
 	if cfg.FixedPolicy == nil && kind != fault.Overriding && kind != fault.Silent {
-		return nil, fmt.Errorf("explore: unsupported fault kind %v", kind)
+		return 0, 0, fmt.Errorf("explore: unsupported fault kind %v", kind)
 	}
-	cap := cfg.MaxExecutions
+	cap = cfg.MaxExecutions
 	if cap <= 0 {
 		cap = DefaultMaxExecutions
 	}
+	return kind, cap, nil
+}
 
-	out := &Outcome{}
+// ConfigFrom converts the unified settings to an exploration Config.
+func ConfigFrom(s *run.Settings) Config {
+	return Config{
+		Protocol:        s.Protocol,
+		Inputs:          s.Inputs,
+		FaultyObjects:   s.FaultyObjects,
+		FaultsPerObject: s.FaultsPerObject,
+		Kind:            s.Kind,
+		FixedPolicy:     s.Policy,
+		MaxExecutions:   s.MaxExecutions,
+		StepLimit:       s.StepLimit,
+	}
+}
+
+// CheckWith explores the execution space described by the unified run.With...
+// options — the one way executions are constructed across the packages. The
+// exploration runs on the parallel engine with the configured worker count
+// (run.WithWorkers; default GOMAXPROCS) and honors ctx cancellation.
+func CheckWith(ctx context.Context, opts ...run.Option) (*Outcome, error) {
+	s := run.NewSettings(opts...)
+	eng := &Engine{Workers: s.Workers}
+	return eng.Check(ctx, ConfigFrom(s))
+}
+
+// Check exhaustively explores the execution tree and returns the outcome.
+// It is the sequential reference implementation: the parallel Engine
+// enumerates the same leaves and is checked against it.
+func Check(cfg Config) (*Outcome, error) {
+	kind, cap, err := cfg.prepare()
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{Workers: 1}
 	c := &chooser{}
 	for out.Executions < cap {
 		c.arity = c.arity[:0]
 		c.pos = 0
-		ce, verdict, stats, err := runOnce(cfg, kind, c)
+		ce, verdict, stats, err := runOnce(context.Background(), cfg, kind, c)
 		if err != nil {
 			return nil, err
 		}
@@ -207,7 +295,7 @@ type runStats struct {
 	faults   int
 }
 
-func runOnce(cfg Config, kind fault.Kind, c *chooser) (*Counterexample, run.Verdict, runStats, error) {
+func runOnce(ctx context.Context, cfg Config, kind fault.Kind, c *chooser) (*Counterexample, run.Verdict, runStats, error) {
 	budget := fault.NewFixedBudget(cfg.FaultyObjects, cfg.FaultsPerObject)
 	policy := cfg.FixedPolicy
 	if policy == nil {
@@ -239,13 +327,18 @@ func runOnce(cfg Config, kind fault.Kind, c *chooser) (*Counterexample, run.Verd
 		limit = cfg.Protocol.StepBound(len(cfg.Inputs))
 	}
 	log := trace.New()
-	res, err := sim.Run(sim.Config{
+	res, err := sim.RunContext(ctx, sim.Config{
 		Programs:  run.Programs(cfg.Protocol, bank, cfg.Inputs),
 		Scheduler: sched,
 		StepLimit: limit,
 		Log:       log,
 	})
 	if err != nil && res == nil {
+		return nil, run.Verdict{}, runStats{}, err
+	}
+	if err != nil && !errors.Is(err, sim.ErrWaitFreedom) {
+		// Cancellation (or any future partial-result condition): the
+		// truncated execution must not be evaluated as if it completed.
 		return nil, run.Verdict{}, runStats{}, err
 	}
 

@@ -1,0 +1,100 @@
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// frontier is the shared pool of unexplored subtree roots, each identified
+// by a choice-path prefix. Workers pop the most recently pushed prefix
+// (LIFO keeps the pool depth-first and therefore small) and donate subtrees
+// back when the pool runs low, so work granularity adapts to the shape of
+// the execution tree: a deep skinny tree stays one chunk, a bushy tree
+// fans out immediately.
+type frontier struct {
+	mu     sync.Mutex
+	wait   sync.Cond
+	stack  [][]int
+	busy   int  // workers holding a popped prefix
+	closed bool // drained (or aborted): all pops fail from now on
+
+	// size mirrors len(stack) so starving() needs no lock on the replay
+	// hot path.
+	size atomic.Int64
+}
+
+func newFrontier(root []int) *frontier {
+	f := &frontier{stack: [][]int{root}}
+	f.wait.L = &f.mu
+	f.size.Store(1)
+	return f
+}
+
+// push adds subtree roots to the pool.
+func (f *frontier) push(prefixes [][]int) {
+	if len(prefixes) == 0 {
+		return
+	}
+	f.mu.Lock()
+	f.stack = append(f.stack, prefixes...)
+	f.size.Store(int64(len(f.stack)))
+	f.mu.Unlock()
+	f.wait.Broadcast()
+}
+
+// pop blocks until a prefix is available and claims it. It returns ok=false
+// when the exploration is over: every prefix was processed and no busy
+// worker remains to donate more, or the frontier was aborted.
+func (f *frontier) pop() ([]int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.closed {
+			return nil, false
+		}
+		if n := len(f.stack); n > 0 {
+			p := f.stack[n-1]
+			f.stack = f.stack[:n-1]
+			f.size.Store(int64(n - 1))
+			f.busy++
+			return p, true
+		}
+		if f.busy == 0 {
+			// Nobody is working, nobody can donate: drained.
+			f.closed = true
+			f.wait.Broadcast()
+			return nil, false
+		}
+		f.wait.Wait()
+	}
+}
+
+// done releases a claim taken by pop.
+func (f *frontier) done() {
+	f.mu.Lock()
+	f.busy--
+	idle := f.busy == 0 && len(f.stack) == 0
+	f.mu.Unlock()
+	if idle {
+		f.wait.Broadcast()
+	}
+}
+
+// abort unblocks all waiters and fails every future pop.
+func (f *frontier) abort() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.wait.Broadcast()
+}
+
+// starving reports that the pool has fewer pending prefixes than the low
+//-water mark, asking busy workers to donate a subtree.
+func (f *frontier) starving(lowWater int) bool {
+	return f.size.Load() < int64(lowWater)
+}
+
+// pending returns the number of queued subtree roots (for progress reports).
+func (f *frontier) pending() int {
+	return int(f.size.Load())
+}

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fault"
@@ -24,7 +25,7 @@ func Replay(cfg Config, path []int) (*Counterexample, error) {
 		kind = fault.Overriding
 	}
 	c := &chooser{path: append([]int(nil), path...)}
-	ce, verdict, _, err := runOnce(cfg, kind, c)
+	ce, verdict, _, err := runOnce(context.Background(), cfg, kind, c)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,8 @@
 package explore
 
 import (
+	"context"
 	"fmt"
-
-	"repro/internal/fault"
 )
 
 // Subsets enumerates all size-k subsets of {0, .., n-1} in lexicographic
@@ -34,6 +33,17 @@ func Subsets(n, k int) [][]int {
 // f faulty objects", adversary's choice). It returns the first violating
 // outcome, or the combined outcome if every subset verifies.
 func CheckAllSubsets(cfg Config, f int) (*Outcome, error) {
+	return checkAllSubsets(cfg, f, func(c Config) (*Outcome, error) { return Check(c) })
+}
+
+// CheckAllSubsets is the engine form of the package-level CheckAllSubsets:
+// subsets are examined in deterministic lexicographic order, each explored
+// in parallel by the engine's workers.
+func (e *Engine) CheckAllSubsets(ctx context.Context, cfg Config, f int) (*Outcome, error) {
+	return checkAllSubsets(cfg, f, func(c Config) (*Outcome, error) { return e.Check(ctx, c) })
+}
+
+func checkAllSubsets(cfg Config, f int, check func(Config) (*Outcome, error)) (*Outcome, error) {
 	if cfg.Protocol == nil {
 		return nil, fmt.Errorf("explore: no protocol")
 	}
@@ -46,7 +56,7 @@ func CheckAllSubsets(cfg Config, f int) (*Outcome, error) {
 	for _, sub := range subsets {
 		c := cfg
 		c.FaultyObjects = sub
-		out, err := Check(c)
+		out, err := check(c)
 		if err != nil {
 			return nil, err
 		}
@@ -73,31 +83,18 @@ func CheckAllSubsets(cfg Config, f int) (*Outcome, error) {
 // schedule, or nil if none exists. Use it on small configurations to
 // extract the crispest counterexample for a report; Check is the fast path.
 func FindMinimal(cfg Config) (*Counterexample, *Outcome, error) {
-	if cfg.Protocol == nil {
-		return nil, nil, fmt.Errorf("explore: no protocol")
-	}
-	if len(cfg.Inputs) == 0 {
-		return nil, nil, fmt.Errorf("explore: no inputs")
-	}
-	kind := cfg.Kind
-	if kind == fault.None {
-		kind = fault.Overriding
-	}
-	if cfg.FixedPolicy == nil && kind != fault.Overriding && kind != fault.Silent {
-		return nil, nil, fmt.Errorf("explore: unsupported fault kind %v", kind)
-	}
-	cap := cfg.MaxExecutions
-	if cap <= 0 {
-		cap = DefaultMaxExecutions
+	kind, cap, err := cfg.prepare()
+	if err != nil {
+		return nil, nil, err
 	}
 
-	out := &Outcome{}
+	out := &Outcome{Workers: 1}
 	var best *Counterexample
 	c := &chooser{}
 	for out.Executions < cap {
 		c.arity = c.arity[:0]
 		c.pos = 0
-		ce, verdict, stats, err := runOnce(cfg, kind, c)
+		ce, verdict, stats, err := runOnce(context.Background(), cfg, kind, c)
 		if err != nil {
 			return nil, nil, err
 		}

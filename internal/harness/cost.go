@@ -10,6 +10,9 @@ import (
 	"repro/internal/atomicx"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/object"
+	"repro/internal/run"
+	"repro/internal/sim"
 )
 
 // costConfig is one row of the E8 cost sweep.
@@ -22,36 +25,104 @@ type costConfig struct {
 	procs     int     // concurrent goroutines
 }
 
-// measureCost times `rounds` one-shot consensus instances with the given
-// concurrency on real atomics, returning ns per decide call and the mean
-// CAS invocations per decide call.
-func measureCost(cfg costConfig, rounds int, seed int64) (nsPerDecide float64, casPerDecide float64, err error) {
+// substrate runs one consensus instance on a run.Bank. Both substrates are
+// driven through the unified Bank interface, so the measurement loop —
+// construction, decide, op accounting, agreement check — is one code path
+// with no type switches.
+type substrate struct {
+	name    string
+	newBank func(cfg costConfig, round int, seed int64) run.Bank
+	decide  func(bank run.Bank, cfg costConfig, round int, seed int64) ([]int64, error)
+}
+
+// realAtomics races native goroutines on the lock-free environment: the
+// deployment-shaped measurement.
+func realAtomics() substrate {
+	return substrate{
+		name: "atomics",
+		newBank: func(cfg costConfig, round int, seed int64) run.Bank {
+			if cfg.faulty > 0 {
+				return atomicx.NewFaultyBank(cfg.proto.Objects(),
+					fault.NewFixedBudget(objectIDs(cfg.faulty), cfg.boundedT),
+					cfg.faultRate, seed+int64(round))
+			}
+			return atomicx.NewBank(cfg.proto.Objects())
+		},
+		decide: func(bank run.Bank, cfg costConfig, round int, seed int64) ([]int64, error) {
+			// Real atomics need no per-process binding: Bind returns the
+			// shared lock-free environment.
+			env := bank.Bind(nil)
+			results := make([]int64, cfg.procs)
+			var wg sync.WaitGroup
+			for g := 0; g < cfg.procs; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					results[g] = cfg.proto.Decide(env, int64(100+g))
+				}(g)
+			}
+			wg.Wait()
+			return results, nil
+		},
+	}
+}
+
+// simulated runs the same instance on the step-granting simulator under a
+// seeded random schedule — the model-checking-shaped measurement, for
+// calibrating simulated against native op counts.
+func simulated() substrate {
+	return substrate{
+		name: "simulator",
+		newBank: func(cfg costConfig, round int, seed int64) run.Bank {
+			policy := fault.Never()
+			if cfg.faulty > 0 {
+				policy = fault.Rate(fault.Overriding, cfg.faultRate, seed+int64(round))
+			}
+			return object.NewBank(cfg.proto.Objects(),
+				fault.NewFixedBudget(objectIDs(cfg.faulty), cfg.boundedT), policy)
+		},
+		decide: func(bank run.Bank, cfg costConfig, round int, seed int64) ([]int64, error) {
+			inputs := make([]int64, cfg.procs)
+			for g := range inputs {
+				inputs[g] = int64(100 + g)
+			}
+			res, err := sim.Run(sim.Config{
+				Programs:  run.Programs(cfg.proto, bank, inputs),
+				Scheduler: sim.NewRandom(seed + int64(round)),
+				StepLimit: cfg.proto.StepBound(cfg.procs),
+			})
+			if err != nil {
+				return nil, err
+			}
+			results := make([]int64, cfg.procs)
+			for g := range results {
+				if !res.Decided[g] {
+					return nil, fmt.Errorf("process %d did not decide", g)
+				}
+				results[g] = res.Decisions[g].Value()
+			}
+			return results, nil
+		},
+	}
+}
+
+// measureCost times `rounds` one-shot consensus instances on the given
+// substrate, returning ns per decide call and the mean CAS invocations per
+// decide call (counted by the bank, uniformly across substrates).
+func measureCost(cfg costConfig, sub substrate, rounds int, seed int64) (nsPerDecide float64, casPerDecide float64, err error) {
 	var totalOps int64
 	start := time.Now()
 	for r := 0; r < rounds; r++ {
-		var bank *atomicx.Bank
-		if cfg.faulty > 0 {
-			bank = atomicx.NewFaultyBank(cfg.proto.Objects(),
-				fault.NewFixedBudget(objectIDs(cfg.faulty), cfg.boundedT),
-				cfg.faultRate, seed+int64(r))
-		} else {
-			bank = atomicx.NewBank(cfg.proto.Objects())
+		bank := sub.newBank(cfg, r, seed)
+		results, err := sub.decide(bank, cfg, r, seed)
+		if err != nil {
+			return 0, 0, fmt.Errorf("round %d (%s/%s): %w", r, cfg.name, sub.name, err)
 		}
-		results := make([]int64, cfg.procs)
-		var wg sync.WaitGroup
-		for g := 0; g < cfg.procs; g++ {
-			wg.Add(1)
-			go func(g int) {
-				defer wg.Done()
-				results[g] = cfg.proto.Decide(bank, int64(100+g))
-			}(g)
-		}
-		wg.Wait()
 		totalOps += bank.Ops()
-		for g := 1; g < cfg.procs; g++ {
+		for g := 1; g < len(results); g++ {
 			if results[g] != results[0] {
-				err = fmt.Errorf("round %d: disagreement %v under %s", r, results, cfg.name)
-				return
+				return 0, 0, fmt.Errorf("round %d: disagreement %v under %s/%s",
+					r, results, cfg.name, sub.name)
 			}
 		}
 	}
@@ -59,22 +130,26 @@ func measureCost(cfg costConfig, rounds int, seed int64) (nsPerDecide float64, c
 	decides := float64(rounds * cfg.procs)
 	nsPerDecide = float64(elapsed.Nanoseconds()) / decides
 	casPerDecide = float64(totalOps) / decides
-	return
+	return nsPerDecide, casPerDecide, nil
 }
 
-// runE8 measures the practical cost of each construction on real atomics:
-// the baseline single CAS is cheapest, Figure 2 costs f+1 CAS steps, and
-// Figure 3 pays for its stage budget t·(4f+f²) — the price of surviving
-// with zero reliable objects.
+// runE8 measures the practical cost of each construction: the baseline
+// single CAS is cheapest, Figure 2 costs f+1 CAS steps, and Figure 3 pays
+// for its stage budget t·(4f+f²) — the price of surviving with zero
+// reliable objects. Each configuration is measured on real atomics and,
+// at the lowest concurrency, cross-checked on the simulator through the
+// same unified bank code path.
 func runE8(w io.Writer, opts Options) error {
 	rounds := 3000
+	simRounds := 300
 	procsList := []int{2, 4, 8}
 	if opts.Quick {
 		rounds = 300
+		simRounds = 50
 		procsList = []int{2, 4}
 	}
 
-	t := NewTable("protocol", "objects", "procs", "fault cfg", "ns/decide", "CAS/decide")
+	t := NewTable("protocol", "objects", "procs", "substrate", "fault cfg", "ns/decide", "CAS/decide")
 	type rowResult struct {
 		name string
 		ns   float64
@@ -97,10 +172,6 @@ func runE8(w io.Writer, opts Options) error {
 				return fmt.Errorf("E8: misconfigured row %q: %d procs exceeds tolerance bound %d",
 					cfg.name, cfg.procs, cfg.proto.MaxProcs())
 			}
-			ns, cas, err := measureCost(cfg, rounds, opts.Seed)
-			if err != nil {
-				return fmt.Errorf("E8: %w", err)
-			}
 			faultCfg := "fault-free"
 			if cfg.faulty > 0 {
 				tStr := "∞"
@@ -109,13 +180,29 @@ func runE8(w io.Writer, opts Options) error {
 				}
 				faultCfg = fmt.Sprintf("f=%d t=%s p=%.1f", cfg.faulty, tStr, cfg.faultRate)
 			}
-			t.Add(cfg.name, cfg.proto.Objects(), procs, faultCfg, ns, cas)
+			subs := []struct {
+				substrate
+				rounds int
+			}{{realAtomics(), rounds}}
 			if procs == procsList[0] {
-				switch {
-				case cfg.name == "baseline single CAS":
-					baseline = &rowResult{cfg.name, ns}
-				case staged21 == nil && strings.HasPrefix(cfg.name, "figure3") && strings.HasSuffix(cfg.name, "t=1"):
-					staged21 = &rowResult{cfg.name, ns}
+				subs = append(subs, struct {
+					substrate
+					rounds int
+				}{simulated(), simRounds})
+			}
+			for _, sub := range subs {
+				ns, cas, err := measureCost(cfg, sub.substrate, sub.rounds, opts.Seed)
+				if err != nil {
+					return fmt.Errorf("E8: %w", err)
+				}
+				t.Add(cfg.name, cfg.proto.Objects(), procs, sub.name, faultCfg, ns, cas)
+				if procs == procsList[0] && sub.name == "atomics" {
+					switch {
+					case cfg.name == "baseline single CAS":
+						baseline = &rowResult{cfg.name, ns}
+					case staged21 == nil && strings.HasPrefix(cfg.name, "figure3") && strings.HasSuffix(cfg.name, "t=1"):
+						staged21 = &rowResult{cfg.name, ns}
+					}
 				}
 			}
 		}

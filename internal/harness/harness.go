@@ -9,9 +9,13 @@ package harness
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/run"
 )
 
-// Options tunes experiment effort.
+// Options tunes experiment effort. It is the harness view of the unified
+// run.Settings; construct it from the shared run.With... options via
+// NewOptions.
 type Options struct {
 	// Quick shrinks sweeps and sample counts (used by tests); the full
 	// configuration is the default used by cmd/experiments.
@@ -19,6 +23,17 @@ type Options struct {
 	// Seed drives every randomized component; a fixed seed reproduces
 	// the exact tables.
 	Seed int64
+	// Workers is the parallelism of exploration-driven experiments
+	// (0 means GOMAXPROCS). Tables stay identical across worker counts:
+	// the engine's results are deterministic.
+	Workers int
+}
+
+// NewOptions derives experiment options from the unified run.With... options
+// (run.WithQuick, run.WithSeed, run.WithWorkers).
+func NewOptions(opts ...run.Option) Options {
+	s := run.NewSettings(opts...)
+	return Options{Quick: s.Quick, Seed: s.Seed, Workers: s.Workers}
 }
 
 // Experiment is one reproduction experiment.

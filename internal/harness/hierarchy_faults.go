@@ -18,7 +18,7 @@ import (
 // overriding faults sit at level f+1 of the Herlihy consensus hierarchy.
 func runE6(w io.Writer, opts Options) error {
 	maxF := 4
-	hopts := hierarchy.Options{StressRuns: 400, Seed: opts.Seed}
+	hopts := hierarchy.Options{StressRuns: 400, Seed: opts.Seed, Workers: opts.Workers}
 	if opts.Quick {
 		maxF = 2
 		hopts.StressRuns = 120

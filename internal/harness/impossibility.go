@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/fault"
+	"repro/internal/run"
 )
 
 // runE4 reproduces Theorem 18: with an unbounded number of overriding
@@ -47,14 +49,18 @@ func runE4(w io.Writer, opts Options) error {
 
 	t := NewTable("configuration", "n", "executions", "outcome", "schedule len")
 	for _, r := range rows {
-		out, err := explore.Check(explore.Config{
-			Protocol:        r.proto,
-			Inputs:          inputs(r.n),
-			FaultyObjects:   objectIDs(r.proto.Objects()),
-			FaultsPerObject: fault.Unbounded,
-			FixedPolicy:     r.policy,
-			MaxExecutions:   cap,
-		})
+		// The whole sweep runs on the parallel engine through the unified
+		// options API; the reported counterexamples are canonical
+		// (lexicographically least), so the table is identical for any
+		// worker count.
+		out, err := explore.CheckWith(context.Background(),
+			run.WithProtocol(r.proto),
+			run.WithDistinctInputs(r.n),
+			run.WithAllObjectsFaulty(fault.Unbounded),
+			run.WithPolicy(r.policy),
+			run.WithMaxExecutions(cap),
+			run.WithWorkers(opts.Workers),
+		)
 		if err != nil {
 			return err
 		}
@@ -122,6 +128,35 @@ func runE5(w io.Writer, opts Options) error {
 		if tight.Violated() {
 			t.Render(w)
 			return fmt.Errorf("E5: tightness run violated consensus at f=%d", f)
+		}
+
+		// Cross-check with the parallel engine for small f: exploring the
+		// same configuration (all objects faulty, t=1, n=f+2) must also
+		// find a violation — the directed covering attack and the
+		// exhaustive search agree on Theorem 19.
+		if f <= 2 {
+			eng := &explore.Engine{Workers: opts.Workers}
+			out, err := eng.Check(context.Background(), explore.Config{
+				Protocol:        proto,
+				Inputs:          inputs(f + 2),
+				FaultyObjects:   objectIDs(proto.Objects()),
+				FaultsPerObject: 1,
+				MaxExecutions:   100_000,
+			})
+			if err != nil {
+				return err
+			}
+			outcome = "no violation"
+			faultsUsed := "-"
+			if out.Violation != nil {
+				outcome = "violation: " + string(out.Violation.Verdict.Violation)
+				faultsUsed = fmt.Sprintf("%d", len(out.Violation.Trace.Faults()))
+			}
+			t.Add(f, f+2, "engine explore", "-", faultsUsed, outcome)
+			if out.Violation == nil {
+				t.Render(w)
+				return fmt.Errorf("E5: engine exploration found no violation at f=%d, n=%d", f, f+2)
+			}
 		}
 	}
 	t.Render(w)

@@ -15,6 +15,7 @@
 package hierarchy
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adversary"
@@ -70,6 +71,10 @@ type Options struct {
 	StressRuns int
 	// Seed drives the randomized fallback.
 	Seed int64
+	// Workers is the parallelism of the per-level exhaustive exploration
+	// (0 means GOMAXPROCS). Estimates are identical for any value: the
+	// engine's outcomes are deterministic.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -141,7 +146,8 @@ func checkLevel(proto core.Staged, faulty []int, t, n int, opts Options) (Level,
 		FaultsPerObject: t,
 		MaxExecutions:   opts.ExhaustiveBudget,
 	}
-	out, err := explore.Check(cfg)
+	eng := &explore.Engine{Workers: opts.Workers}
+	out, err := eng.Check(context.Background(), cfg)
 	if err != nil {
 		return Level{}, err
 	}

@@ -1,6 +1,7 @@
 package object
 
 import (
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/word"
@@ -9,6 +10,10 @@ import (
 // Bank is a set of CAS objects shared by all processes of one execution.
 type Bank struct {
 	objs []*CAS
+	// ops counts CAS invocations. Plain int is race-free here: every
+	// invocation runs inside a granted simulator step, and the grant
+	// protocol's channel handshakes order the steps.
+	ops int64
 }
 
 // NewBank creates n CAS objects (ids 0..n-1) sharing one budget and policy.
@@ -16,6 +21,7 @@ func NewBank(n int, budget *fault.Budget, policy fault.Policy) *Bank {
 	b := &Bank{objs: make([]*CAS, n)}
 	for i := range b.objs {
 		b.objs[i] = NewCAS(i, budget, policy)
+		b.objs[i].ops = &b.ops
 	}
 	return b
 }
@@ -42,10 +48,12 @@ func (b *Bank) Reset() {
 	}
 }
 
+// Ops returns the number of CAS invocations executed so far.
+func (b *Bank) Ops() int64 { return b.ops }
+
 // Bind returns the bank as seen by one simulated process: an environment
-// whose CAS method takes one scheduled atomic step. The returned value
-// satisfies the protocol environment interface (core.Env) structurally.
-func (b *Bank) Bind(p *sim.Proc) *Array { return &Array{bank: b, p: p} }
+// whose CAS method takes one scheduled atomic step.
+func (b *Bank) Bind(p *sim.Proc) core.Env { return &Array{bank: b, p: p} }
 
 // Array is a Bank bound to one simulated process.
 type Array struct {

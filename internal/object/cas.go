@@ -26,6 +26,10 @@ type CAS struct {
 	content word.Word
 	budget  *fault.Budget
 	policy  fault.Policy
+	// ops, when non-nil, is the bank-wide invocation counter, bumped
+	// inside Apply — i.e. inside the granted atomic step, where the
+	// simulator's grant protocol orders all object accesses.
+	ops *int64
 }
 
 // NewCAS returns a CAS object initialized to ⊥. budget and policy may be nil
@@ -62,6 +66,9 @@ func (o *CAS) Corrupt(v word.Word) word.Word {
 // the old value along with the trace event describing what happened. The
 // simulator wraps Apply in a scheduled step via Invoke.
 func (o *CAS) Apply(proc int, exp, new word.Word) (word.Word, trace.Event) {
+	if o.ops != nil {
+		*o.ops++
+	}
 	pre := o.content
 	prop := o.policy.Decide(fault.Op{
 		Object:  o.id,

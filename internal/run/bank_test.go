@@ -1,0 +1,95 @@
+package run
+
+import (
+	"testing"
+
+	"repro/internal/atomicx"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/object"
+	"repro/internal/sim"
+	"repro/internal/word"
+)
+
+// TestBankInterfaceUniform drives one consensus instance on each substrate
+// purely through the Bank interface and checks the shared observable
+// contract: object count, op accounting, contents inspection, and reset.
+// This is the invariant the cost harness (E8) relies on to measure both
+// substrates with one code path.
+func TestBankInterfaceUniform(t *testing.T) {
+	proto := core.SingleCAS{}
+	inputs := []int64{41, 42}
+
+	substrates := map[string]struct {
+		bank   Bank
+		decide func(t *testing.T, bank Bank) []int64
+	}{
+		"simulator": {
+			bank: object.NewBank(proto.Objects(), fault.NewFixedBudget(nil, 0), fault.Never()),
+			decide: func(t *testing.T, bank Bank) []int64 {
+				res, err := sim.Run(sim.Config{
+					Programs:  Programs(proto, bank, inputs),
+					Scheduler: sim.NewRoundRobin(),
+					StepLimit: proto.StepBound(len(inputs)),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := make([]int64, len(inputs))
+				for i := range out {
+					out[i] = res.Decisions[i].Value()
+				}
+				return out
+			},
+		},
+		"atomics": {
+			bank: atomicx.NewBank(proto.Objects()),
+			decide: func(t *testing.T, bank Bank) []int64 {
+				env := bank.Bind(nil)
+				out := make([]int64, len(inputs))
+				for i, in := range inputs {
+					out[i] = proto.Decide(env, in)
+				}
+				return out
+			},
+		},
+	}
+
+	for name, sub := range substrates {
+		t.Run(name, func(t *testing.T) {
+			bank := sub.bank
+			if bank.Len() != proto.Objects() {
+				t.Fatalf("Len = %d, want %d", bank.Len(), proto.Objects())
+			}
+			for i, w := range bank.Contents() {
+				if w != word.Bottom {
+					t.Fatalf("object %d starts at %s, want ⊥", i, w)
+				}
+			}
+			if bank.Ops() != 0 {
+				t.Fatalf("fresh bank reports %d ops", bank.Ops())
+			}
+
+			out := sub.decide(t, bank)
+			for i, v := range out {
+				if v != inputs[0] {
+					t.Errorf("process %d decided %d, want %d", i, v, inputs[0])
+				}
+			}
+			// SingleCAS: one CAS invocation per process.
+			if got := bank.Ops(); got != int64(len(inputs)) {
+				t.Errorf("Ops = %d, want %d", got, len(inputs))
+			}
+			if got := bank.Contents()[0]; got.Value() != inputs[0] {
+				t.Errorf("object 0 holds %s, want %d", got, inputs[0])
+			}
+
+			bank.Reset()
+			for i, w := range bank.Contents() {
+				if w != word.Bottom {
+					t.Errorf("object %d = %s after Reset, want ⊥", i, w)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,181 @@
+package run
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Settings is the unified description of consensus executions, shared by
+// every driver in the repository: single runs (Consensus), the exploration
+// engine (internal/explore), the experiment harness (internal/harness), and
+// the CLI tools. It replaces the three historical config types — run.Config,
+// explore.Config, and harness.Options — which remain as thin deprecated
+// shims for one release.
+//
+// Construct a Settings with NewSettings and the With... functional options;
+// zero values mean "use the default".
+type Settings struct {
+	// Protocol under test.
+	Protocol core.Protocol
+	// Inputs holds one input value per process; len(Inputs) is n.
+	Inputs []int64
+	// Scheduler chooses the interleaving for single runs; exploration
+	// drivers install their own choice-driven scheduler.
+	Scheduler sim.Scheduler
+	// FaultyObjects is the adversary's committed faulty-object set.
+	FaultyObjects []int
+	// FaultsPerObject is the per-object fault bound t (fault.Unbounded
+	// for t = ∞).
+	FaultsPerObject int
+	// Kind is the functional fault to inject (default Overriding).
+	Kind fault.Kind
+	// Policy, when non-nil, fixes the fault decisions (an adversary);
+	// exploration then enumerates scheduling only.
+	Policy fault.Policy
+	// Budget, when non-nil, overrides the (FaultyObjects,
+	// FaultsPerObject) budget for single runs.
+	Budget *fault.Budget
+	// Trace enables event recording.
+	Trace bool
+	// Observer, when non-nil, sees every recorded event.
+	Observer func(trace.Event)
+	// StepLimit overrides the protocol's per-process step bound.
+	StepLimit int
+	// MaxExecutions caps an exploration (0 means the explorer's default).
+	MaxExecutions int
+	// Workers is the exploration parallelism (0 means GOMAXPROCS).
+	Workers int
+	// Quick shrinks experiment sweeps and sample counts.
+	Quick bool
+	// Seed drives every randomized component.
+	Seed int64
+}
+
+// Option mutates one Settings field; the With... constructors below are the
+// single way executions are described across the packages.
+type Option func(*Settings)
+
+// NewSettings applies the options to a zero Settings.
+func NewSettings(opts ...Option) *Settings {
+	s := &Settings{}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// WithProtocol sets the protocol under test.
+func WithProtocol(p core.Protocol) Option { return func(s *Settings) { s.Protocol = p } }
+
+// WithInputs sets one input value per process.
+func WithInputs(inputs ...int64) Option {
+	return func(s *Settings) { s.Inputs = append([]int64(nil), inputs...) }
+}
+
+// WithDistinctInputs sets the canonical n distinct inputs 10, 11, …, 10+n−1
+// used throughout the experiments.
+func WithDistinctInputs(n int) Option {
+	return func(s *Settings) {
+		s.Inputs = make([]int64, n)
+		for i := range s.Inputs {
+			s.Inputs[i] = int64(10 + i)
+		}
+	}
+}
+
+// WithScheduler sets the interleaving for single runs.
+func WithScheduler(sched sim.Scheduler) Option { return func(s *Settings) { s.Scheduler = sched } }
+
+// WithFaultyObjects commits the adversary to the given faulty-object set
+// with at most perObject faults each (fault.Unbounded for t = ∞).
+func WithFaultyObjects(ids []int, perObject int) Option {
+	return func(s *Settings) {
+		s.FaultyObjects = append([]int(nil), ids...)
+		s.FaultsPerObject = perObject
+	}
+}
+
+// WithAllObjectsFaulty commits the adversary to every object of the
+// protocol (requires WithProtocol first, as options apply in order).
+func WithAllObjectsFaulty(perObject int) Option {
+	return func(s *Settings) {
+		if s.Protocol == nil {
+			panic("run: WithAllObjectsFaulty requires WithProtocol before it")
+		}
+		ids := make([]int, s.Protocol.Objects())
+		for i := range ids {
+			ids[i] = i
+		}
+		s.FaultyObjects = ids
+		s.FaultsPerObject = perObject
+	}
+}
+
+// WithFaultKind sets the functional fault to inject.
+func WithFaultKind(k fault.Kind) Option { return func(s *Settings) { s.Kind = k } }
+
+// WithPolicy fixes the fault decisions to a deterministic adversary policy.
+func WithPolicy(p fault.Policy) Option { return func(s *Settings) { s.Policy = p } }
+
+// WithBudget sets an explicit fault budget for single runs.
+func WithBudget(b *fault.Budget) Option { return func(s *Settings) { s.Budget = b } }
+
+// WithTrace enables event recording.
+func WithTrace() Option { return func(s *Settings) { s.Trace = true } }
+
+// WithObserver installs an event observer.
+func WithObserver(fn func(trace.Event)) Option { return func(s *Settings) { s.Observer = fn } }
+
+// WithStepLimit overrides the protocol's per-process step bound.
+func WithStepLimit(n int) Option { return func(s *Settings) { s.StepLimit = n } }
+
+// WithMaxExecutions caps an exploration.
+func WithMaxExecutions(n int) Option { return func(s *Settings) { s.MaxExecutions = n } }
+
+// WithWorkers sets the exploration parallelism (0 means GOMAXPROCS).
+func WithWorkers(n int) Option { return func(s *Settings) { s.Workers = n } }
+
+// WithQuick shrinks experiment sweeps and sample counts.
+func WithQuick(quick bool) Option { return func(s *Settings) { s.Quick = quick } }
+
+// WithSeed fixes the seed of every randomized component.
+func WithSeed(seed int64) Option { return func(s *Settings) { s.Seed = seed } }
+
+// Validate checks the fields every driver requires.
+func (s *Settings) Validate() error {
+	if s.Protocol == nil {
+		return fmt.Errorf("run: no protocol")
+	}
+	if len(s.Inputs) == 0 {
+		return fmt.Errorf("run: no inputs")
+	}
+	return nil
+}
+
+// Config converts the unified settings to the legacy single-run Config.
+func (s *Settings) Config() Config {
+	budget := s.Budget
+	if budget == nil && len(s.FaultyObjects) > 0 {
+		budget = fault.NewFixedBudget(s.FaultyObjects, s.FaultsPerObject)
+	}
+	return Config{
+		Protocol:  s.Protocol,
+		Inputs:    s.Inputs,
+		Scheduler: s.Scheduler,
+		Budget:    budget,
+		Policy:    s.Policy,
+		Trace:     s.Trace,
+		Observer:  s.Observer,
+		StepLimit: s.StepLimit,
+	}
+}
+
+// ConsensusWith runs one execution described by the options. It is the
+// unified-API form of Consensus.
+func ConsensusWith(opts ...Option) (*Result, error) {
+	return Consensus(NewSettings(opts...).Config())
+}

@@ -5,6 +5,8 @@
 package run
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -17,7 +19,7 @@ import (
 
 // Programs builds one simulator program per input value, each executing the
 // protocol against the shared bank.
-func Programs(proto core.Protocol, bank *object.Bank, inputs []int64) []sim.Program {
+func Programs(proto core.Protocol, bank Bank, inputs []int64) []sim.Program {
 	progs := make([]sim.Program, len(inputs))
 	for i, input := range inputs {
 		input := input
@@ -29,6 +31,10 @@ func Programs(proto core.Protocol, bank *object.Bank, inputs []int64) []sim.Prog
 }
 
 // Config describes one simulated consensus execution.
+//
+// Deprecated: new code should describe executions with the unified
+// functional options (NewSettings / ConsensusWith and the run.With...
+// constructors); Config remains as a thin shim for one release.
 type Config struct {
 	Protocol core.Protocol
 	// Inputs holds one input value per process; len(Inputs) is n.
@@ -56,10 +62,17 @@ type Result struct {
 }
 
 // Consensus runs one execution and evaluates it. An error is returned only
-// for framework-level failures (program panic); a wait-freedom violation is
-// reported through the verdict, since for the impossibility experiments a
-// violation is the expected observation, not an error.
+// for framework-level failures (program panic, cancellation); a
+// wait-freedom violation is reported through the verdict, since for the
+// impossibility experiments a violation is the expected observation, not an
+// error.
 func Consensus(cfg Config) (*Result, error) {
+	return ConsensusContext(context.Background(), cfg)
+}
+
+// ConsensusContext is Consensus with cancellation: when ctx is cancelled
+// mid-execution the partial result is returned together with ctx.Err().
+func ConsensusContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Protocol == nil {
 		return nil, fmt.Errorf("run: no protocol")
 	}
@@ -86,10 +99,19 @@ func Consensus(cfg Config) (*Result, error) {
 		simCfg.Log = trace.New()
 	}
 
-	res, err := sim.Run(simCfg)
+	res, err := sim.RunContext(ctx, simCfg)
 	if err != nil && res == nil {
 		return nil, err
 	}
 	verdict := Evaluate(cfg.Inputs, res, err)
-	return &Result{Sim: res, Verdict: verdict, Bank: bank}, nil
+	result := &Result{Sim: res, Verdict: verdict, Bank: bank}
+	// A wait-freedom violation is folded into the verdict (it is an
+	// observation, not a failure). Any other partial-result error —
+	// cancellation, a future simulator condition — must reach the caller:
+	// silently evaluating the truncated execution would report a verdict
+	// for an execution that never ran to its end.
+	if err != nil && !errors.Is(err, sim.ErrWaitFreedom) {
+		return result, err
+	}
+	return result, nil
 }

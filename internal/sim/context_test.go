@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/word"
+)
+
+// TestRunContextCancelMidExecution: cancelling the context between steps
+// must abandon the execution and return the partial result, marked Stopped,
+// together with the context error.
+func TestRunContextCancelMidExecution(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &counter{}
+	prog := func(p *Proc) word.Word {
+		for i := 0; i < 100; i++ {
+			c.Incr(p)
+		}
+		return word.FromValue(int64(p.ID()))
+	}
+	grants := 0
+	sched := SchedulerFunc(func(enabled []int) (int, bool) {
+		grants++
+		if grants == 5 {
+			cancel()
+		}
+		return enabled[0], true
+	})
+	res, err := RunContext(ctx, Config{
+		Programs:  []Program{prog, prog},
+		Scheduler: sched,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result returned")
+	}
+	if !res.Stopped {
+		t.Error("partial result not marked Stopped")
+	}
+	if res.Decided[0] || res.Decided[1] {
+		t.Error("a process decided in an abandoned execution")
+	}
+	if c.n == 0 || c.n >= 200 {
+		t.Errorf("counter = %d, want a partial execution", c.n)
+	}
+}
+
+// TestRunContextPreCancelled: an already-cancelled context must stop the
+// execution before any step is granted.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &counter{}
+	prog := func(p *Proc) word.Word {
+		c.Incr(p)
+		return word.FromValue(0)
+	}
+	res, err := RunContext(ctx, Config{
+		Programs:  []Program{prog, prog},
+		Scheduler: NewRoundRobin(),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if res == nil || !res.Stopped {
+		t.Fatalf("want stopped partial result, got %+v", res)
+	}
+	if c.n != 0 {
+		t.Errorf("counter = %d, want 0 steps granted", c.n)
+	}
+}
+
+// TestRunBackgroundEquivalence: Run is RunContext with a background
+// context — completed executions are identical.
+func TestRunBackgroundEquivalence(t *testing.T) {
+	mk := func() Config {
+		c := &counter{}
+		prog := func(p *Proc) word.Word {
+			for i := 0; i < 3; i++ {
+				c.Incr(p)
+			}
+			return word.FromValue(int64(p.ID()))
+		}
+		return Config{Programs: []Program{prog, prog}, Scheduler: NewRoundRobin()}
+	}
+	a, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stopped || b.Stopped {
+		t.Fatal("completed executions marked Stopped")
+	}
+	for i := range a.Decisions {
+		if a.Decisions[i] != b.Decisions[i] || a.Steps[i] != b.Steps[i] {
+			t.Errorf("process %d: Run and RunContext diverge", i)
+		}
+	}
+}

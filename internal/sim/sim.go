@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -207,6 +208,17 @@ func (r *runner) record(e trace.Event) {
 // scheduler stops it, or when an error (wait-freedom violation, panic)
 // occurs. Run never returns both a nil Result and a nil error.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (or its
+// deadline passes) between steps, the execution is abandoned and the partial
+// result is returned together with ctx.Err(). The result is marked Stopped,
+// like an execution the scheduler halted, since the remaining processes were
+// abandoned rather than left behind by the protocol. The parallel
+// exploration engine relies on this to stop all workers promptly once a
+// counterexample is found or a deadline hits.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if len(cfg.Programs) == 0 {
 		return nil, errors.New("sim: no programs")
 	}
@@ -273,6 +285,9 @@ func Run(cfg Config) (*Result, error) {
 
 	// Main loop: grant one step at a time.
 	for r.liveCount > 0 {
+		if err := ctx.Err(); err != nil {
+			return r.result(true), err
+		}
 		enabled := make([]int, 0, n)
 		for id := 0; id < n; id++ {
 			if r.parked[id] {

@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI gate: vet, build, full test suite, and a race-detector pass over the
+# concurrency-bearing packages (the parallel exploration engine and the
+# step-granting simulator).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (engine + simulator) =="
+go test -race ./internal/explore/... ./internal/sim/...
+
+echo "OK"
