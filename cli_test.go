@@ -7,9 +7,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 var (
@@ -146,6 +149,133 @@ func TestCLIModelcheckJSON(t *testing.T) {
 	}
 	if !strings.Contains(out, `"kind": "cas"`) {
 		t.Errorf("JSON trace missing:\n%s", out)
+	}
+}
+
+// cliExecutions extracts the "executions  : N" count from modelcheck output.
+func cliExecutions(t *testing.T, out string) int {
+	t.Helper()
+	m := regexp.MustCompile(`executions  : (\d+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no executions line in output:\n%s", out)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCLIModelcheckKilledResume: a modelcheck enumeration killed
+// mid-exploration (SIGKILL — no graceful shutdown) must be continuable with
+// -resume alone, reaching the same verdict as an uninterrupted run. The
+// resume reconstructs the protocol flags from the run directory's manifest.
+func TestCLIModelcheckKilledResume(t *testing.T) {
+	ref, code := runCLI(t, "modelcheck",
+		"-proto", "figure3", "-f", "1", "-t", "1", "-n", "2", "-unbounded")
+	if code != 0 || !strings.Contains(ref, "VERIFIED") {
+		t.Fatalf("reference run: exit %d:\n%s", code, ref)
+	}
+
+	dir := filepath.Join(t.TempDir(), "run")
+	bin := filepath.Join(buildCLIs(t), "modelcheck")
+	cmd := exec.Command(bin,
+		"-proto", "figure3", "-f", "1", "-t", "1", "-n", "2", "-unbounded",
+		"-workers", "1", "-checkpoint", dir, "-checkpoint-every", "20ms")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	killed := cmd.Process.Kill() == nil
+	cmd.Wait()
+	if !killed {
+		t.Log("run finished before the kill; resuming a done store instead")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoint.json")); err != nil {
+		t.Fatalf("no checkpoint written before the kill: %v", err)
+	}
+
+	out, code := runCLI(t, "modelcheck", "-resume", dir)
+	if code != 0 {
+		t.Fatalf("resume: exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "VERIFIED") {
+		t.Errorf("resumed run must reach the reference verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "(complete: true)") {
+		t.Errorf("resumed run did not complete the enumeration:\n%s", out)
+	}
+}
+
+// TestCLIModelcheckResumeCounterexample: interrupting a counterexample
+// search (here deterministically, via the execution cap, which stops before
+// the violation) and resuming with a raised cap must report the IDENTICAL
+// violation — same verdict, same lex-least schedule — as the uninterrupted
+// search.
+func TestCLIModelcheckResumeCounterexample(t *testing.T) {
+	args := []string{"-proto", "figure3", "-f", "1", "-t", "1", "-n", "3"}
+	ref, code := runCLI(t, "modelcheck", args...)
+	if code != 1 {
+		t.Fatalf("reference search: exit %d, want 1:\n%s", code, ref)
+	}
+	wantSchedule := regexp.MustCompile(`schedule: \[[0-9 ]+\]`).FindString(ref)
+	if wantSchedule == "" {
+		t.Fatalf("reference output has no schedule line:\n%s", ref)
+	}
+
+	dir := filepath.Join(t.TempDir(), "run")
+	out, code := runCLI(t, "modelcheck",
+		append(append([]string{}, args...), "-max", "2", "-checkpoint", dir)...)
+	if code != 0 || !strings.Contains(out, "NO VIOLATION FOUND (cap reached") {
+		t.Fatalf("capped run: exit %d:\n%s", code, out)
+	}
+
+	out, code = runCLI(t, "modelcheck", "-resume", dir, "-max", "200000")
+	if code != 1 {
+		t.Fatalf("resume: exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "VIOLATION (consistency)") {
+		t.Errorf("resumed search missing the violation:\n%s", out)
+	}
+	if !strings.Contains(out, wantSchedule) {
+		t.Errorf("resumed counterexample differs from the uninterrupted one:\nwant %s\ngot:\n%s",
+			wantSchedule, out)
+	}
+}
+
+// TestCLIModelcheckResumeMismatch: a run directory resumes only with the
+// settings it was created with; contradicting flags must be refused.
+func TestCLIModelcheckResumeMismatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	out, code := runCLI(t, "modelcheck",
+		"-proto", "figure3", "-f", "1", "-t", "1", "-n", "2", "-checkpoint", dir)
+	if code != 0 {
+		t.Fatalf("checkpoint run: exit %d:\n%s", code, out)
+	}
+	out, code = runCLI(t, "modelcheck", "-resume", dir, "-n", "3")
+	if code != 2 || !strings.Contains(out, "contradicts") {
+		t.Errorf("mismatched resume: exit %d, want 2 with a contradiction message:\n%s", code, out)
+	}
+}
+
+// TestCLIModelcheckDedupReduction: -dedup must complete the same
+// verification in measurably fewer executions and report its cache stats.
+func TestCLIModelcheckDedupReduction(t *testing.T) {
+	args := []string{"-proto", "figure3", "-f", "1", "-t", "1", "-n", "2", "-unbounded"}
+	plain, code := runCLI(t, "modelcheck", args...)
+	if code != 0 || !strings.Contains(plain, "VERIFIED") {
+		t.Fatalf("plain run: exit %d:\n%s", code, plain)
+	}
+	dedup, code := runCLI(t, "modelcheck", append(append([]string{}, args...), "-dedup")...)
+	if code != 0 || !strings.Contains(dedup, "VERIFIED") {
+		t.Fatalf("dedup run: exit %d:\n%s", code, dedup)
+	}
+	if !strings.Contains(dedup, "dedup       :") {
+		t.Errorf("dedup stats line missing:\n%s", dedup)
+	}
+	p, d := cliExecutions(t, plain), cliExecutions(t, dedup)
+	if d >= p {
+		t.Errorf("dedup explored %d executions, plain %d — no reduction", d, p)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/run"
 )
 
 func main() {
@@ -36,7 +37,7 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	opts := harness.NewOptions(run.WithQuick(*quick), run.WithSeed(*seed), run.WithWorkers(*workers))
 	if *runID != "" {
 		e, ok := harness.ByID(*runID)
 		if !ok {

@@ -53,11 +53,11 @@ func main() {
 		inputs[i] = int64(10 + i)
 	}
 
-	cfg := run.Config{
-		Protocol:  proto,
-		Inputs:    inputs,
-		Scheduler: sched,
-		Trace:     true,
+	cfgOpts := []run.Option{
+		run.WithProtocol(proto),
+		run.WithInputs(inputs...),
+		run.WithScheduler(sched),
+		run.WithTrace(),
 	}
 
 	kind, err := parseKind(*kindName)
@@ -77,11 +77,13 @@ func main() {
 		for i := range ids {
 			ids[i] = i
 		}
-		cfg.Budget = fault.NewFixedBudget(ids, perObject)
-		cfg.Policy = fault.WhenEffective(fault.Rate(kind, *rate, *seed))
+		cfgOpts = append(cfgOpts,
+			run.WithBudget(fault.NewFixedBudget(ids, perObject)),
+			run.WithPolicy(fault.WhenEffective(fault.Rate(kind, *rate, *seed))),
+		)
 	}
 
-	res, err := run.Consensus(cfg)
+	res, err := run.ConsensusWith(cfgOpts...)
 	if err != nil {
 		fail(err)
 	}

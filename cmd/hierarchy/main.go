@@ -18,10 +18,10 @@ import (
 
 func main() {
 	var (
-		maxF   = flag.Int("maxf", 4, "largest f to estimate")
-		t      = flag.Int("t", 1, "per-object fault bound")
-		runs   = flag.Int("stress", 400, "randomized runs per level when exhaustive checking is infeasible")
-		budget = flag.Int("budget", 20000, "execution cap for exhaustive checking per level")
+		maxF    = flag.Int("maxf", 4, "largest f to estimate")
+		t       = flag.Int("t", 1, "per-object fault bound")
+		runs    = flag.Int("stress", 400, "randomized runs per level when exhaustive checking is infeasible")
+		budget  = flag.Int("budget", 20000, "execution cap for exhaustive checking per level")
 		seed    = flag.Int64("seed", 1, "seed for randomized fallback")
 		workers = flag.Int("workers", 0, "exploration parallelism (0 = GOMAXPROCS)")
 	)

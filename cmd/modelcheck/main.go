@@ -8,21 +8,34 @@
 //	modelcheck -proto figure3 -f 1 -t 1 -n 3            # Theorem 19 violation
 //	modelcheck -proto figure1 -n 3 -unbounded           # Theorem 18 violation
 //	modelcheck -proto silent-retry -t 2 -n 2 -fault silent
+//
+// Long explorations survive interruption: -checkpoint periodically persists
+// the exploration frontier to a run directory, and -resume continues it —
+// after a crash, a kill, or an expired -deadline — with the identical final
+// verdict. -resume reconstructs the protocol settings from the stored
+// manifest and refuses flags that contradict it.
+//
+//	modelcheck -proto figure3 -f 2 -n 3 -checkpoint run/ -deadline 10s
+//	modelcheck -resume run/                              # pick up where it died
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/fault"
+	"repro/internal/run"
+	"repro/internal/store"
 )
 
 func main() {
@@ -38,10 +51,56 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS); results are identical for any value")
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the exploration (0 = none), e.g. 30s")
 		progress  = flag.Duration("progress", 0, "print throughput reports at this interval (0 = off), e.g. 2s")
+		dedup     = flag.Bool("dedup", false, "prune subtrees rooted at already-visited canonical states")
+		checkpt   = flag.String("checkpoint", "", "create a run directory there and checkpoint the exploration into it")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint period (default 5s)")
+		resume    = flag.String("resume", "", "resume the exploration recorded in this run directory")
 		jsonOut   = flag.Bool("json", false, "emit the counterexample trace as JSON")
 		diagram   = flag.Bool("diagram", false, "render the counterexample as a space-time diagram")
 	)
 	flag.Parse()
+
+	var st *store.Store
+	if *resume != "" {
+		if *checkpt != "" {
+			fail("use either -checkpoint (new run) or -resume (existing run), not both")
+		}
+		var err error
+		if st, err = store.Open(*resume); err != nil {
+			fail("%v", err)
+		}
+		// The manifest carries the flags the run was created with; resume
+		// reconstructs the protocol from them and refuses contradictions,
+		// so `modelcheck -resume dir` alone always continues the right
+		// exploration.
+		m := st.Manifest()
+		restore := map[string]func(string){
+			"proto":     func(v string) { *protoName = v },
+			"f":         func(v string) { *f = atoi(v) },
+			"t":         func(v string) { *t = atoi(v) },
+			"n":         func(v string) { *n = atoi(v) },
+			"fault":     func(v string) { *kindName = v },
+			"unbounded": func(v string) { *unbounded = v == "true" },
+			"faulty":    func(v string) { *faulty = atoi(v) },
+			"dedup":     func(v string) { *dedup = v == "true" },
+		}
+		explicit := map[string]bool{}
+		flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+		for name, set := range restore {
+			v, ok := m.Extra[name]
+			if !ok {
+				continue
+			}
+			if explicit[name] {
+				cur := flagValue(name)
+				if cur != v {
+					fail("-%s %s contradicts the run manifest (%s=%s); a run directory resumes only with the settings it was created with", name, cur, name, v)
+				}
+				continue
+			}
+			set(v)
+		}
+	}
 
 	var proto core.Protocol
 	switch strings.ToLower(*protoName) {
@@ -54,8 +113,7 @@ func main() {
 	case "silent-retry", "silent":
 		proto = core.NewSilentRetry(*t)
 	default:
-		fmt.Fprintf(os.Stderr, "modelcheck: unknown protocol %q\n", *protoName)
-		os.Exit(2)
+		fail("unknown protocol %q", *protoName)
 	}
 
 	var kind fault.Kind
@@ -65,8 +123,7 @@ func main() {
 	case "silent":
 		kind = fault.Silent
 	default:
-		fmt.Fprintf(os.Stderr, "modelcheck: unsupported fault kind %q\n", *kindName)
-		os.Exit(2)
+		fail("unsupported fault kind %q", *kindName)
 	}
 
 	numFaulty := *faulty
@@ -87,33 +144,96 @@ func main() {
 		inputs[i] = int64(10 + i)
 	}
 
+	cfg := explore.ConfigFrom(run.NewSettings(
+		run.WithProtocol(proto),
+		run.WithInputs(inputs...),
+		run.WithFaultyObjects(ids, perObject),
+		run.WithFaultKind(kind),
+		run.WithMaxExecutions(*maxExecs),
+	))
+
+	if st != nil {
+		m, err := explore.ManifestFor(cfg, false, *dedup)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := st.Verify(m); err != nil {
+			fail("%v", err)
+		}
+	}
+	if *checkpt != "" {
+		m, err := explore.ManifestFor(cfg, false, *dedup)
+		if err != nil {
+			fail("%v", err)
+		}
+		m.Extra = map[string]string{
+			"proto":     strings.ToLower(*protoName),
+			"f":         strconv.Itoa(*f),
+			"t":         strconv.Itoa(*t),
+			"n":         strconv.Itoa(*n),
+			"fault":     strings.ToLower(*kindName),
+			"unbounded": strconv.FormatBool(*unbounded),
+			"faulty":    strconv.Itoa(*faulty),
+			"dedup":     strconv.FormatBool(*dedup),
+		}
+		if st, err = store.Create(*checkpt, m); err != nil {
+			fail("%v", err)
+		}
+	}
+
 	ctx := context.Background()
 	if *deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
-	eng := &explore.Engine{Workers: *workers}
+	eng := &explore.Engine{
+		Workers:         *workers,
+		Dedup:           *dedup,
+		Store:           st,
+		CheckpointEvery: *ckptEvery,
+	}
+	// Progress goes to stderr through one buffered writer so report lines
+	// never interleave with the verdict on stdout; the final report is
+	// flushed before any result is printed.
+	progressOut := bufio.NewWriter(os.Stderr)
+	progressLine := func(p explore.Progress) {
+		fmt.Fprintf(progressOut, "progress: %d executions, %.0f paths/sec, frontier %d, %s elapsed",
+			p.Executions, p.Rate, p.Frontier, p.Elapsed.Round(time.Millisecond))
+		if p.Dedup.Lookups > 0 {
+			fmt.Fprintf(progressOut, ", dedup %d states %.1f%% hits",
+				p.Dedup.States, 100*p.Dedup.HitRate())
+		}
+		fmt.Fprintln(progressOut)
+	}
 	if *progress > 0 {
 		eng.ProgressEvery = *progress
 		eng.Progress = func(p explore.Progress) {
-			fmt.Fprintf(os.Stderr, "progress: %d executions, %.0f paths/sec, frontier %d, %s elapsed\n",
-				p.Executions, p.Rate, p.Frontier, p.Elapsed.Round(time.Millisecond))
+			progressLine(p)
+			progressOut.Flush()
 		}
 	}
-	out, err := eng.Check(ctx, explore.Config{
-		Protocol:        proto,
-		Inputs:          inputs,
-		FaultyObjects:   ids,
-		FaultsPerObject: perObject,
-		Kind:            kind,
-		MaxExecutions:   *maxExecs,
-	})
+	out, err := eng.Check(ctx, cfg)
 	deadlineHit := errors.Is(err, context.DeadlineExceeded)
 	if err != nil && !deadlineHit {
-		fmt.Fprintf(os.Stderr, "modelcheck: %v\n", err)
-		os.Exit(2)
+		progressOut.Flush()
+		fail("%v", err)
 	}
+	if *progress > 0 {
+		// Final progress line: the periodic reporter stops between ticks,
+		// so without this the last report understates the finished run.
+		p := explore.Progress{
+			Executions: int64(out.Executions),
+			Elapsed:    out.Elapsed,
+			Rate:       float64(out.Executions) / out.Elapsed.Seconds(),
+		}
+		if out.Dedup != nil {
+			p.Dedup = *out.Dedup
+		}
+		progressLine(p)
+	}
+	// Everything reported so far belongs before the verdict.
+	progressOut.Flush()
 
 	fmt.Printf("protocol    : %s\n", proto.Name())
 	fmt.Printf("processes   : %d, faulty objects: %v, faults/object: %s\n",
@@ -125,8 +245,20 @@ func main() {
 		fmt.Printf("engine      : %d workers, %.0f paths/sec, %s elapsed\n",
 			out.Workers, float64(out.Executions)/secs, out.Elapsed.Round(time.Millisecond))
 	}
+	if out.Dedup != nil {
+		fmt.Printf("dedup       : %d states, %d of %d lookups pruned (%.1f%%)\n",
+			out.Dedup.States, out.Dedup.Hits, out.Dedup.Lookups, 100*out.Dedup.HitRate())
+	}
 	if deadlineHit {
 		fmt.Printf("deadline    : %s exceeded — partial exploration\n", *deadline)
+	}
+	if st != nil {
+		dir := st.Dir()
+		if deadlineHit || (!out.Complete && out.Violation == nil) {
+			fmt.Printf("checkpoint  : saved to %s — continue with: modelcheck -resume %s\n", dir, dir)
+		} else {
+			fmt.Printf("checkpoint  : finished run recorded in %s\n", dir)
+		}
 	}
 
 	if out.Violation == nil {
@@ -153,8 +285,7 @@ func main() {
 	if *jsonOut {
 		data, err := json.MarshalIndent(out.Violation.Trace, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "modelcheck: %v\n", err)
-			os.Exit(2)
+			fail("%v", err)
 		}
 		os.Stdout.Write(data)
 		fmt.Println()
@@ -162,6 +293,28 @@ func main() {
 		fmt.Print(out.Violation.String())
 	}
 	os.Exit(1)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "modelcheck: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func atoi(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		fail("corrupt manifest value %q: %v", s, err)
+	}
+	return v
+}
+
+// flagValue renders the current value of a named flag for conflict messages.
+func flagValue(name string) string {
+	fl := flag.Lookup(name)
+	if fl == nil {
+		return ""
+	}
+	return strings.ToLower(fl.Value.String())
 }
 
 func tString(t int) string {

@@ -55,19 +55,18 @@ func trial(proto core.Protocol, n int, faultyObjects []int, rate float64, rounds
 	violations := 0
 	for i := 0; i < rounds; i++ {
 		seed := int64(1000 + i)
-		var budget *fault.Budget
-		var policy fault.Policy
-		if rate > 0 {
-			budget = fault.NewFixedBudget(faultyObjects, fault.Unbounded)
-			policy = fault.WhenEffective(fault.Rate(fault.Overriding, rate, seed))
+		cfgOpts := []run.Option{
+			run.WithProtocol(proto),
+			run.WithInputs(inputs(n)...),
+			run.WithScheduler(sim.NewRandom(seed)),
 		}
-		res, err := run.Consensus(run.Config{
-			Protocol:  proto,
-			Inputs:    inputs(n),
-			Scheduler: sim.NewRandom(seed),
-			Budget:    budget,
-			Policy:    policy,
-		})
+		if rate > 0 {
+			cfgOpts = append(cfgOpts,
+				run.WithBudget(fault.NewFixedBudget(faultyObjects, fault.Unbounded)),
+				run.WithPolicy(fault.WhenEffective(fault.Rate(fault.Overriding, rate, seed))),
+			)
+		}
+		res, err := run.ConsensusWith(cfgOpts...)
 		if err != nil {
 			panic(err)
 		}

@@ -16,12 +16,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/fault"
+	"repro/internal/run"
 )
 
 func inputs(n int) []int64 {
@@ -35,14 +37,13 @@ func inputs(n int) []int64 {
 // probe searches for a violation: bounded exhaustive exploration first,
 // then randomized stress, then the covering adversary where it applies.
 func probe(proto core.Protocol, n int, faulty []int, perObject int) string {
-	cfg := explore.Config{
-		Protocol:        proto,
-		Inputs:          inputs(n),
-		FaultyObjects:   faulty,
-		FaultsPerObject: perObject,
-		MaxExecutions:   20000,
+	cfgOpts := []run.Option{
+		run.WithProtocol(proto),
+		run.WithInputs(inputs(n)...),
+		run.WithFaultyObjects(faulty, perObject),
+		run.WithMaxExecutions(20000),
 	}
-	out, err := explore.Check(cfg)
+	out, err := explore.CheckWith(context.Background(), cfgOpts...)
 	if err != nil {
 		return "error"
 	}
@@ -52,7 +53,7 @@ func probe(proto core.Protocol, n int, faulty []int, perObject int) string {
 	if out.Complete {
 		return "ok (proved)"
 	}
-	st, err := explore.Stress(cfg, 300, 7)
+	st, err := explore.StressWith(300, 7, cfgOpts...)
 	if err != nil {
 		return "error"
 	}

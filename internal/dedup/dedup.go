@@ -1,0 +1,224 @@
+// Package dedup eliminates duplicate work during exploration of the
+// execution tree: a sharded, lock-striped set of fingerprints over canonical
+// execution states (register contents, per-process local-state digests, and
+// pending fault budgets — see Tracker). Many interleavings converge to the
+// same state; once one subtree rooted at a state has been claimed, every
+// other path reaching that state can be pruned, turning exponential
+// re-exploration of converging interleavings into a visited-set walk.
+//
+// The set keeps, per state, the lexicographically least choice path seen to
+// reach it. A path is pruned only when a strictly smaller path already
+// claimed the state, which preserves the engine's canonical-counterexample
+// guarantee: the lexicographically least violating leaf of the full tree is
+// never cut off, because any prefix of it that loses a dedup race loses to a
+// strictly smaller path whose (isomorphic) subtree contains a strictly
+// smaller violating leaf — contradicting leastness. Pruning therefore
+// changes how much work is done, never which verdict and counterexample are
+// reported.
+package dedup
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Fingerprint is a 128-bit hash of a canonical execution state. Two
+// independent 64-bit hashes make accidental collisions (which would prune a
+// genuinely different state) negligible at any realistic exploration size.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// Decision is the outcome of a Visit.
+type Decision int
+
+const (
+	// Stored means the state was new and the path was recorded as its
+	// representative: keep exploring.
+	Stored Decision = iota
+	// Revisit means the state was already claimed by this very path (a
+	// shared prefix of the worker's own enumeration): keep exploring.
+	Revisit
+	// Improved means the path is strictly smaller than the recorded
+	// representative and replaced it: keep exploring.
+	Improved
+	// Prune means a strictly smaller path already claimed the state: the
+	// subtree rooted here only repeats work, abandon it.
+	Prune
+)
+
+// numShards stripes the lock so concurrent workers rarely contend; a power
+// of two keeps shard selection a mask.
+const numShards = 64
+
+type shard struct {
+	mu sync.Mutex
+	m  map[Fingerprint][]int32
+}
+
+// Set is the concurrent visited-state set. The zero value is not usable;
+// construct with NewSet.
+type Set struct {
+	shards [numShards]shard
+
+	// limit bounds the number of stored states (0 = unlimited). When the
+	// set is full, new states are not recorded — existing entries keep
+	// pruning, so the cap trades hit rate for memory, never soundness.
+	limit int64
+	size  atomic.Int64
+
+	lookups  atomic.Int64
+	hits     atomic.Int64
+	improved atomic.Int64
+}
+
+// NewSet returns an empty set holding at most limit states (0 = unlimited).
+func NewSet(limit int) *Set {
+	s := &Set{limit: int64(limit)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[Fingerprint][]int32)
+	}
+	return s
+}
+
+// Visit records or consults the state reached by the given choice path and
+// decides whether the subtree rooted at that path should be explored or
+// pruned. path is borrowed for the duration of the call; the set copies it
+// when it becomes a representative.
+func (s *Set) Visit(fp Fingerprint, path []int) Decision {
+	s.lookups.Add(1)
+	sh := &s.shards[fp.Lo&(numShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	stored, ok := sh.m[fp]
+	if !ok {
+		if s.limit > 0 && s.size.Load() >= s.limit {
+			return Stored // full: not recorded, treated as fresh
+		}
+		sh.m[fp] = compact(path)
+		s.size.Add(1)
+		return Stored
+	}
+	switch comparePaths(stored, path) {
+	case 0:
+		return Revisit
+	case -1:
+		s.hits.Add(1)
+		return Prune
+	default:
+		sh.m[fp] = compact(path)
+		s.improved.Add(1)
+		return Improved
+	}
+}
+
+// compact stores a choice path in 32-bit cells (arities are tiny).
+func compact(path []int) []int32 {
+	c := make([]int32, len(path))
+	for i, v := range path {
+		c[i] = int32(v)
+	}
+	return c
+}
+
+// comparePaths orders a stored representative against a candidate path:
+// -1 if stored is lexicographically less, 0 if equal, +1 if greater. A
+// shorter path that is a prefix of the longer orders first.
+func comparePaths(stored []int32, path []int) int {
+	for i := 0; i < len(stored) && i < len(path); i++ {
+		if int(stored[i]) != path[i] {
+			if int(stored[i]) < path[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(stored) == len(path):
+		return 0
+	case len(stored) < len(path):
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Stats is a point-in-time summary of the set's effectiveness.
+type Stats struct {
+	// States is the number of distinct states recorded.
+	States int64
+	// Lookups is the total number of Visit calls.
+	Lookups int64
+	// Hits is the number of Prune decisions (subtrees eliminated).
+	Hits int64
+	// Improved is the number of representative replacements by a
+	// lexicographically smaller path.
+	Improved int64
+}
+
+// HitRate is the fraction of lookups that pruned a subtree.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Stats returns the current counters.
+func (s *Set) Stats() Stats {
+	return Stats{
+		States:   s.size.Load(),
+		Lookups:  s.lookups.Load(),
+		Hits:     s.hits.Load(),
+		Improved: s.improved.Load(),
+	}
+}
+
+// Entry is one persisted state: its fingerprint and representative path.
+type Entry struct {
+	Hi   uint64 `json:"hi"`
+	Lo   uint64 `json:"lo"`
+	Path []int  `json:"path"`
+}
+
+// Snapshot returns every recorded state, for checkpointing. The snapshot is
+// consistent per shard; entries added concurrently may or may not appear,
+// which is safe — dedup entries are advisory, and every entry's subtree is
+// covered by the checkpoint's task set.
+func (s *Set) Snapshot() []Entry {
+	var out []Entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for fp, p := range sh.m {
+			path := make([]int, len(p))
+			for j, v := range p {
+				path[j] = int(v)
+			}
+			out = append(out, Entry{Hi: fp.Hi, Lo: fp.Lo, Path: path})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Restore loads persisted entries into the set (resume). Existing entries
+// are kept when lexicographically smaller.
+func (s *Set) Restore(entries []Entry) {
+	for _, e := range entries {
+		fp := Fingerprint{Hi: e.Hi, Lo: e.Lo}
+		sh := &s.shards[fp.Lo&(numShards-1)]
+		sh.mu.Lock()
+		stored, ok := sh.m[fp]
+		if !ok {
+			if s.limit <= 0 || s.size.Load() < s.limit {
+				sh.m[fp] = compact(e.Path)
+				s.size.Add(1)
+			}
+		} else if comparePaths(stored, e.Path) > 0 {
+			sh.m[fp] = compact(e.Path)
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,213 @@
+package dedup
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+func TestVisitSemantics(t *testing.T) {
+	s := NewSet(0)
+	fp := Fingerprint{Hi: 1, Lo: 2}
+
+	if d := s.Visit(fp, []int{1, 0}); d != Stored {
+		t.Fatalf("first visit = %v, want Stored", d)
+	}
+	if d := s.Visit(fp, []int{1, 0}); d != Revisit {
+		t.Fatalf("same-path visit = %v, want Revisit", d)
+	}
+	if d := s.Visit(fp, []int{1, 1}); d != Prune {
+		t.Fatalf("larger-path visit = %v, want Prune", d)
+	}
+	if d := s.Visit(fp, []int{0, 7}); d != Improved {
+		t.Fatalf("smaller-path visit = %v, want Improved", d)
+	}
+	// After the improvement, the old representative now prunes.
+	if d := s.Visit(fp, []int{1, 0}); d != Prune {
+		t.Fatalf("old representative = %v, want Prune", d)
+	}
+
+	st := s.Stats()
+	if st.States != 1 || st.Hits != 2 || st.Improved != 1 || st.Lookups != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVisitPrefixOrdering(t *testing.T) {
+	s := NewSet(0)
+	fp := Fingerprint{Hi: 3, Lo: 4}
+	if d := s.Visit(fp, []int{2}); d != Stored {
+		t.Fatalf("got %v", d)
+	}
+	// A stored proper prefix orders before every extension.
+	if d := s.Visit(fp, []int{2, 0}); d != Prune {
+		t.Fatalf("extension of stored prefix = %v, want Prune", d)
+	}
+	// A shorter candidate that is a prefix of the stored path improves it.
+	if d := s.Visit(Fingerprint{Hi: 5, Lo: 6}, []int{2, 0}); d != Stored {
+		t.Fatalf("got %v", d)
+	}
+	if d := s.Visit(Fingerprint{Hi: 5, Lo: 6}, []int{2}); d != Improved {
+		t.Fatalf("prefix of stored path = %v, want Improved", d)
+	}
+}
+
+func TestSetLimit(t *testing.T) {
+	s := NewSet(2)
+	s.Visit(Fingerprint{Lo: 0}, []int{0})
+	s.Visit(Fingerprint{Lo: 1}, []int{1})
+	// Full: the third state is not recorded...
+	if d := s.Visit(Fingerprint{Lo: 2}, []int{2}); d != Stored {
+		t.Fatalf("got %v", d)
+	}
+	if d := s.Visit(Fingerprint{Lo: 2}, []int{3}); d != Stored {
+		t.Fatalf("state beyond the limit must stay unrecorded, got %v", d)
+	}
+	// ...but recorded states keep pruning.
+	if d := s.Visit(Fingerprint{Lo: 1}, []int{5}); d != Prune {
+		t.Fatalf("got %v", d)
+	}
+	if st := s.Stats(); st.States != 2 {
+		t.Fatalf("states = %d, want 2", st.States)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := NewSet(0)
+	s.Visit(Fingerprint{Hi: 1, Lo: 1}, []int{0, 1})
+	s.Visit(Fingerprint{Hi: 2, Lo: 2}, []int{1})
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+
+	r := NewSet(0)
+	r.Restore(snap)
+	if d := r.Visit(Fingerprint{Hi: 1, Lo: 1}, []int{0, 2}); d != Prune {
+		t.Fatalf("restored entry must prune, got %v", d)
+	}
+	// Restore keeps the smaller representative on conflict.
+	r2 := NewSet(0)
+	r2.Visit(Fingerprint{Hi: 2, Lo: 2}, []int{0})
+	r2.Restore(snap)
+	if d := r2.Visit(Fingerprint{Hi: 2, Lo: 2}, []int{0}); d != Revisit {
+		t.Fatalf("smaller pre-existing representative must survive restore, got %v", d)
+	}
+}
+
+func TestConcurrentVisits(t *testing.T) {
+	s := NewSet(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s.Visit(Fingerprint{Hi: uint64(i), Lo: uint64(i % 37)}, []int{w, i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.States != 2000 {
+		t.Fatalf("states = %d, want 2000", st.States)
+	}
+	if st.Lookups != 16000 {
+		t.Fatalf("lookups = %d, want 16000", st.Lookups)
+	}
+}
+
+func casEvent(proc, obj int, old, post word.Word) trace.Event {
+	return trace.Event{Kind: trace.EventCAS, Proc: proc, Object: obj, Old: old, Post: post}
+}
+
+func TestTrackerDistinguishesStates(t *testing.T) {
+	tr := NewTracker(2, []int64{10, 11}, false)
+	base := tr.Fingerprint()
+
+	tr.Observe(casEvent(0, 0, word.Bottom, word.FromValue(10)))
+	after := tr.Fingerprint()
+	if after == base {
+		t.Fatal("a CAS step must change the fingerprint")
+	}
+
+	tr.Reset()
+	if got := tr.Fingerprint(); got != base {
+		t.Fatalf("reset fingerprint = %v, want %v", got, base)
+	}
+}
+
+func TestTrackerConvergingInterleavings(t *testing.T) {
+	// Two processes each perform an operation whose responses are
+	// order-independent: both orders must converge to the same state.
+	a := NewTracker(2, []int64{10, 11}, false)
+	a.Observe(casEvent(0, 0, word.Bottom, word.FromValue(10)))
+	a.Observe(casEvent(1, 1, word.Bottom, word.FromValue(11)))
+
+	b := NewTracker(2, []int64{10, 11}, false)
+	b.Observe(casEvent(1, 1, word.Bottom, word.FromValue(11)))
+	b.Observe(casEvent(0, 0, word.Bottom, word.FromValue(10)))
+
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("commuting steps must reach the same fingerprint")
+	}
+}
+
+func TestTrackerOrderSensitive(t *testing.T) {
+	// Same multiset of events but different responses observed: distinct.
+	a := NewTracker(1, []int64{10, 11}, false)
+	a.Observe(casEvent(0, 0, word.Bottom, word.FromValue(10)))
+	a.Observe(casEvent(1, 0, word.FromValue(10), word.FromValue(10)))
+
+	b := NewTracker(1, []int64{10, 11}, false)
+	b.Observe(casEvent(1, 0, word.Bottom, word.FromValue(11)))
+	b.Observe(casEvent(0, 0, word.FromValue(11), word.FromValue(11)))
+
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different observed responses must yield different fingerprints")
+	}
+}
+
+func TestTrackerSymmetricRenaming(t *testing.T) {
+	// Processes 0 and 1 have swapped inputs and swapped histories: the
+	// symmetric tracker identifies the states, the plain one does not.
+	history := func(sym bool, swap bool) Fingerprint {
+		inputs := []int64{10, 11}
+		if swap {
+			inputs = []int64{11, 10}
+		}
+		tr := NewTracker(1, inputs, sym)
+		p0, p1 := 0, 1
+		if swap {
+			p0, p1 = 1, 0
+		}
+		tr.Observe(casEvent(p0, 0, word.Bottom, word.FromValue(10)))
+		tr.Observe(casEvent(p1, 0, word.FromValue(10), word.FromValue(10)))
+		return tr.Fingerprint()
+	}
+	if history(true, false) != history(true, true) {
+		t.Fatal("symmetric tracker must identify renamed states")
+	}
+	if history(false, false) == history(false, true) {
+		t.Fatal("plain tracker must distinguish renamed states")
+	}
+}
+
+func TestTrackerBudgetCharges(t *testing.T) {
+	// Identical registers and histories except one execution charged a
+	// fault: the remaining budgets differ, so the states must differ.
+	a := NewTracker(1, []int64{10}, false)
+	a.Observe(casEvent(0, 0, word.Bottom, word.FromValue(10)))
+
+	b := NewTracker(1, []int64{10}, false)
+	ev := casEvent(0, 0, word.Bottom, word.FromValue(10))
+	ev.Fault = fault.Overriding
+	b.Observe(ev)
+
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("differing budget consumption must yield different fingerprints")
+	}
+}

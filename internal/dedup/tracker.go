@@ -1,0 +1,131 @@
+package dedup
+
+import (
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+// Tracker incrementally maintains the canonical state of one replayed
+// execution, fed by the simulator's event stream, and renders it as a
+// Fingerprint on demand. The canonical state is:
+//
+//   - the contents of every CAS register (tracked from post-states of CAS
+//     events),
+//   - one local-state digest per process — a rolling hash over the
+//     process's input and the sequence of responses it observed (returned
+//     old values, plus its decision). Programs are deterministic and see
+//     shared memory only through those responses, so equal digests mean
+//     equal local states, including the program counter,
+//   - the fault budget consumed per object (remaining budgets determine
+//     which faults the adversary may still inject).
+//
+// Two partial executions with equal canonical states have isomorphic
+// continuation subtrees, so the second is redundant.
+//
+// When symmetric is set, the per-process digests are hashed as a sorted
+// multiset instead of a vector, identifying states that differ only by a
+// renaming of processes. This is sound for every protocol written against
+// core.Env: the environment exposes no process identity, so process
+// programs differ only by their input value — which the digest seed
+// captures — and the consensus conditions are invariant under renaming.
+type Tracker struct {
+	inputs    []int64
+	regs      []word.Word
+	procs     []uint64
+	charges   []uint32
+	symmetric bool
+	scratch   []uint64
+}
+
+// NewTracker returns a tracker for executions of n = len(inputs) processes
+// over the given number of CAS objects.
+func NewTracker(objects int, inputs []int64, symmetric bool) *Tracker {
+	t := &Tracker{
+		inputs:    append([]int64(nil), inputs...),
+		regs:      make([]word.Word, objects),
+		procs:     make([]uint64, len(inputs)),
+		charges:   make([]uint32, objects),
+		symmetric: symmetric,
+		scratch:   make([]uint64, len(inputs)),
+	}
+	t.Reset()
+	return t
+}
+
+// Reset restores the initial state (fresh replay).
+func (t *Tracker) Reset() {
+	for i := range t.regs {
+		t.regs[i] = word.Bottom
+		t.charges[i] = 0
+	}
+	for i, in := range t.inputs {
+		t.procs[i] = mix64(fnvSeed ^ uint64(in))
+	}
+}
+
+// Observe folds one simulator event into the state. It is installed as the
+// simulator's Observer, so it runs inside the granted atomic step — no
+// synchronization is needed.
+func (t *Tracker) Observe(e trace.Event) {
+	switch e.Kind {
+	case trace.EventCAS:
+		t.regs[e.Object] = e.Post
+		if e.Fault != fault.None {
+			t.charges[e.Object]++
+		}
+		// The process observes only the returned old value (a silent
+		// fault is invisible to it); which operation it issued is a
+		// function of its local state, so (object, old) per response
+		// pins the continuation.
+		t.procs[e.Proc] = roll(t.procs[e.Proc], uint64(e.Object)<<1|1)
+		t.procs[e.Proc] = roll(t.procs[e.Proc], uint64(e.Old))
+	case trace.EventDecide:
+		t.procs[e.Proc] = roll(t.procs[e.Proc], 0xD0)
+		t.procs[e.Proc] = roll(t.procs[e.Proc], uint64(e.Value))
+	case trace.EventCorrupt:
+		t.regs[e.Object] = e.Value
+	case trace.EventHalt:
+		t.procs[e.Proc] = roll(t.procs[e.Proc], 0xA1)
+	}
+}
+
+// Fingerprint renders the current canonical state as a 128-bit hash.
+func (t *Tracker) Fingerprint() Fingerprint {
+	procs := t.procs
+	if t.symmetric {
+		procs = t.scratch
+		copy(procs, t.procs)
+		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	}
+	hi, lo := uint64(fnvSeed), uint64(fnvSeed2)
+	for i, r := range t.regs {
+		v := uint64(r) ^ uint64(t.charges[i])<<1
+		hi = roll(hi, v)
+		lo = roll2(lo, v)
+	}
+	for _, d := range procs {
+		hi = roll(hi, d)
+		lo = roll2(lo, d)
+	}
+	return Fingerprint{Hi: mix64(hi), Lo: mix64(lo)}
+}
+
+const (
+	fnvSeed  = 0xcbf29ce484222325
+	fnvSeed2 = 0x9e3779b97f4a7c15
+	fnvPrime = 0x100000001b3
+)
+
+// roll and roll2 are two independent multiply-xor rolling hashes; mix64 is
+// the splitmix64 finalizer for avalanche.
+func roll(h, v uint64) uint64  { return (h ^ mix64(v)) * fnvPrime }
+func roll2(h, v uint64) uint64 { return (h + mix64(v^fnvSeed2)) * 0x9ddfea08eb382d69 }
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

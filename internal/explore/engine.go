@@ -2,12 +2,15 @@ package explore
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dedup"
 	"repro/internal/fault"
+	"repro/internal/store"
 )
 
 // Engine is the parallel exploration engine: a frontier of choice-path
@@ -32,6 +35,20 @@ import (
 // certify the canonical counterexample remains. Combined with
 // context.Context cancellation threaded through sim.Run, workers stop
 // promptly once nothing below the bound is left.
+//
+// With Dedup set, workers additionally fingerprint the canonical execution
+// state before every scheduling decision and abandon subtrees rooted at a
+// state already reached by a lexicographically smaller path (see package
+// dedup for the canonicalization and the soundness argument). Deduplication
+// preserves the verdict and the canonical counterexample exactly — only
+// Executions becomes dependent on worker interleaving, since which of two
+// racing paths reaches a shared state first is nondeterministic.
+//
+// With Store set, the engine periodically persists the frontier, the dedup
+// set, and the aggregated outcome to the run directory, and primes itself
+// from the stored checkpoint on start — an interrupted exploration resumed
+// from its checkpoint reports the same verdict and counterexample as an
+// uninterrupted one.
 type Engine struct {
 	// Workers is the number of parallel exploration workers; 0 means
 	// GOMAXPROCS.
@@ -40,6 +57,15 @@ type Engine struct {
 	// complete tree is visited and the minimal counterexample (shortest
 	// schedule) is reported — the parallel analogue of FindMinimal.
 	Exhaustive bool
+	// Dedup prunes subtrees rooted at canonical execution states that a
+	// lexicographically smaller path already reached.
+	Dedup bool
+	// Store, when non-nil, receives periodic crash-safe checkpoints and,
+	// when it already holds one, seeds the exploration from it (resume).
+	Store *store.Store
+	// CheckpointEvery is the checkpoint period (default 5s). Ignored
+	// without Store.
+	CheckpointEvery time.Duration
 	// Progress, when non-nil, receives periodic throughput reports.
 	Progress func(Progress)
 	// ProgressEvery is the reporting period (default 2s).
@@ -56,8 +82,12 @@ type Progress struct {
 	Frontier int
 	// Violations is the number of violating executions seen so far.
 	Violations int64
-	// Elapsed is the wall-clock time since the exploration started.
+	// Elapsed is the wall-clock time since the exploration started
+	// (including time accumulated before a resume).
 	Elapsed time.Duration
+	// Dedup holds the state-cache counters (zero value when the engine
+	// runs without deduplication).
+	Dedup dedup.Stats
 }
 
 // engineRun is the shared state of one Engine.Check invocation.
@@ -68,7 +98,10 @@ type engineRun struct {
 	stopOnFirst bool
 	lowWater    int
 	fr          *frontier
+	set         *dedup.Set   // nil without dedup
+	st          *store.Store // nil without checkpointing
 	start       time.Time
+	elapsed0    time.Duration // wall clock accumulated before a resume
 
 	execs      atomic.Int64
 	violations atomic.Int64
@@ -95,6 +128,12 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.FixedPolicy != nil && (e.Dedup || e.Store != nil) {
+		// A fixed policy is an opaque closure that may carry state across
+		// invocations; neither the state fingerprint nor a checkpointed
+		// replay can reproduce it.
+		return nil, fmt.Errorf("explore: dedup and checkpointing require the checker's own fault policy, not FixedPolicy")
+	}
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -109,10 +148,22 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 		cap:         cap,
 		stopOnFirst: !e.Exhaustive,
 		lowWater:    2 * workers,
-		fr:          newFrontier(nil), // root: the empty prefix
+		st:          e.Store,
 		start:       time.Now(),
 		cancel:      cancel,
 	}
+	if e.Dedup {
+		r.set = dedup.NewSet(0)
+	}
+	tasks := []task{{}} // root: the empty prefix
+	if r.st != nil {
+		if cp := r.st.Checkpoint(); cp != nil {
+			if tasks, err = r.prime(cp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	r.fr = newFrontier(tasks, workers)
 	// pop blocks on a condition variable, not on ctx: translate
 	// cancellation into a frontier abort so waiting workers wake up.
 	go func() {
@@ -121,36 +172,87 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 	}()
 
 	stopProgress := e.startProgress(r)
+	stopCheckpoint := e.startCheckpoint(r)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			r.worker(ctx)
-		}()
+			r.worker(ctx, w)
+		}(i)
 	}
 	wg.Wait()
+	stopCheckpoint()
 	stopProgress()
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.err != nil {
-		return nil, r.err
+	runErr, best := r.err, r.best
+	maxSteps, maxFaults, firstAt := r.maxSteps, r.maxFaults, r.firstAt
+	r.mu.Unlock()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if r.st != nil {
+		// Final checkpoint: marks the run done when nothing is left, or
+		// records the surviving tasks of a cancelled/capped run. A failed
+		// save fails the run — a silently stale checkpoint would resume
+		// from the wrong frontier.
+		if err := r.saveCheckpoint(ctx.Err() == nil); err != nil {
+			return nil, fmt.Errorf("explore: final checkpoint: %w", err)
+		}
 	}
 	out := &Outcome{
 		Executions:       int(r.execs.Load()),
-		Violation:        r.best,
-		MaxProcSteps:     r.maxSteps,
-		MaxFaults:        r.maxFaults,
+		Violation:        best,
+		MaxProcSteps:     maxSteps,
+		MaxFaults:        maxFaults,
 		Workers:          workers,
-		Elapsed:          time.Since(r.start),
-		ViolationLatency: r.firstAt,
+		Elapsed:          r.elapsed0 + time.Since(r.start),
+		ViolationLatency: firstAt,
+	}
+	if r.set != nil {
+		st := r.set.Stats()
+		out.Dedup = &st
 	}
 	if err := ctx.Err(); err != nil {
 		return out, err
 	}
-	out.Complete = !r.capped.Load() && (r.best == nil || e.Exhaustive)
+	out.Complete = !r.capped.Load() && (best == nil || e.Exhaustive)
 	return out, nil
+}
+
+// prime seeds the run from a stored checkpoint: counters, the best
+// counterexample (reconstructed by replaying its path), the dedup set, and
+// the task list that covers all unfinished work.
+func (r *engineRun) prime(cp *store.Checkpoint) ([]task, error) {
+	r.execs.Store(cp.Executions)
+	r.violations.Store(cp.Violations)
+	r.maxSteps = cp.MaxProcSteps
+	r.maxFaults = cp.MaxFaults
+	r.firstAt = time.Duration(cp.FirstViolationNS)
+	r.elapsed0 = time.Duration(cp.ElapsedNS)
+	if len(cp.BestPath) > 0 {
+		ce, err := Replay(r.cfg, cp.BestPath)
+		if err != nil {
+			return nil, fmt.Errorf("explore: resume: replaying stored counterexample: %w", err)
+		}
+		if ce.Verdict.OK() {
+			return nil, fmt.Errorf("explore: resume: stored counterexample path %v no longer violates — the run directory does not match this configuration", cp.BestPath)
+		}
+		r.best = ce
+		if r.stopOnFirst {
+			p := ce.Path
+			r.bound.Store(&p)
+		}
+	}
+	if r.set != nil {
+		r.set.Restore(cp.Dedup)
+	}
+	tasks := make([]task, len(cp.Tasks))
+	for i, t := range cp.Tasks {
+		tasks[i] = task{path: append([]int(nil), t.Path...), floor: t.Floor}
+	}
+	return tasks, nil
 }
 
 // FindMinimal is the parallel analogue of the package-level FindMinimal: it
@@ -167,23 +269,47 @@ func (e *Engine) FindMinimal(ctx context.Context, cfg Config) (*Counterexample, 
 	return out.Violation, out, nil
 }
 
-// worker pops subtree roots and enumerates them until the frontier drains.
-func (r *engineRun) worker(ctx context.Context) {
+// dedupHandle is one worker's deduplication state: the shared fingerprint
+// set, the worker-local canonical-state tracker (reset per replay), and the
+// position at which the current replay was pruned (-1 if it ran to its end).
+type dedupHandle struct {
+	set      *dedup.Set
+	tracker  *dedup.Tracker
+	prunedAt int
+}
+
+// worker pops subtree tasks and enumerates them until the frontier drains.
+// A task that could not be finished (cancellation, execution cap, error)
+// stays in the worker's frontier slot so the final checkpoint preserves it;
+// the worker then exits rather than claim further tasks it cannot finish.
+func (r *engineRun) worker(ctx context.Context, w int) {
+	var dh *dedupHandle
+	if r.set != nil {
+		dh = &dedupHandle{
+			set:     r.set,
+			tracker: dedup.NewTracker(r.cfg.Protocol.Objects(), r.cfg.Inputs, true),
+		}
+	}
 	for {
-		prefix, ok := r.fr.pop()
+		t, ok := r.fr.pop(w)
 		if !ok {
 			return
 		}
-		r.runSubtree(ctx, prefix)
-		r.fr.done()
+		if !r.runSubtree(ctx, w, t, dh) {
+			r.fr.done(w, false)
+			return
+		}
+		r.fr.done(w, true)
 	}
 }
 
-// runSubtree enumerates the subtree rooted at the given choice-path prefix
-// by stateless replay, donating sub-subtrees to the frontier whenever it
-// runs low.
-func (r *engineRun) runSubtree(ctx context.Context, prefix []int) {
-	c := &chooser{path: prefix, lb: len(prefix)}
+// runSubtree enumerates the subtree task by stateless replay, donating
+// sub-subtrees to the frontier whenever it runs low. It reports whether the
+// task was finished: fully enumerated, or abandoned because no leaf below it
+// can improve the canonical counterexample (bound pruning) or because its
+// root state was already covered by a smaller path (dedup).
+func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHandle) bool {
+	c := &chooser{path: t.path, lb: t.floor}
 	var localSteps, localFaults int
 	defer func() {
 		r.mu.Lock()
@@ -198,25 +324,41 @@ func (r *engineRun) runSubtree(ctx context.Context, prefix []int) {
 
 	for {
 		if ctx.Err() != nil {
-			return
+			return false
 		}
 		if r.pruned(c.path) {
 			// Replay visits leaves in lexicographic order, so once the
 			// next path reaches the bound the rest of the subtree can
 			// only contain larger counterexamples.
-			return
+			return true
 		}
 		if !r.claim() {
-			return
+			return false
 		}
+		r.fr.publish(w, c.path, c.lb)
 		c.arity = c.arity[:0]
 		c.pos = 0
-		ce, verdict, stats, err := runOnce(ctx, r.cfg, r.kind, c)
+		ce, verdict, stats, err := runOnce(ctx, r.cfg, r.kind, c, dh)
 		if err != nil {
 			if ctx.Err() == nil {
 				r.fail(err)
 			}
-			return
+			return false
+		}
+		if dh != nil && dh.prunedAt >= 0 {
+			// The replay reached a state some lex-smaller path already
+			// covers: the subtree below the pruned prefix is redundant.
+			// The claim is released — Executions counts completed replays.
+			r.execs.Add(-1)
+			if dh.prunedAt <= c.lb {
+				return true // the whole task is covered elsewhere
+			}
+			c.path = c.path[:dh.prunedAt]
+			c.arity = c.arity[:dh.prunedAt]
+			if !c.next() {
+				return true
+			}
+			continue
 		}
 		if stats.maxSteps > localSteps {
 			localSteps = stats.maxSteps
@@ -229,11 +371,19 @@ func (r *engineRun) runSubtree(ctx context.Context, prefix []int) {
 		}
 		if r.fr.starving(r.lowWater) {
 			if alts := c.donate(); alts != nil {
-				r.fr.push(alts)
+				// donate raised the chooser's floor past the donated
+				// subtrees; push before the next publish so a snapshot
+				// between the two covers the donations twice, never zero
+				// times.
+				ts := make([]task, len(alts))
+				for i, p := range alts {
+					ts[i] = task{path: p, floor: len(p)}
+				}
+				r.fr.push(ts)
 			}
 		}
 		if !c.next() {
-			return
+			return true
 		}
 	}
 }
@@ -284,7 +434,7 @@ func (r *engineRun) recordViolation(ce *Counterexample, path []int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.firstAt == 0 {
-		r.firstAt = time.Since(r.start)
+		r.firstAt = r.elapsed0 + time.Since(r.start)
 	}
 	if r.better(ce) {
 		r.best = ce
@@ -326,6 +476,76 @@ func (r *engineRun) fail(err error) {
 	r.cancel()
 }
 
+// saveCheckpoint persists one snapshot of the run. The task snapshot is
+// taken first: every counter, violation, and dedup entry read afterwards
+// describes work that is either complete (and thus reflected in the
+// snapshot's counters) or still covered by a snapshotted task — so a resume
+// from any checkpoint re-explores a superset of the unfinished work and
+// reaches the same verdict. final marks the run finished when no task
+// survives (a cancelled or capped run keeps its tasks and stays resumable).
+func (r *engineRun) saveCheckpoint(final bool) error {
+	tasks := r.fr.snapshot()
+	cp := &store.Checkpoint{
+		Done:       final && len(tasks) == 0,
+		Executions: r.execs.Load(),
+		Violations: r.violations.Load(),
+		Capped:     r.capped.Load(),
+		ElapsedNS:  (r.elapsed0 + time.Since(r.start)).Nanoseconds(),
+		Tasks:      make([]store.Task, len(tasks)),
+	}
+	for i, t := range tasks {
+		cp.Tasks[i] = store.Task{Path: t.path, Floor: t.floor}
+	}
+	r.mu.Lock()
+	cp.MaxProcSteps = r.maxSteps
+	cp.MaxFaults = r.maxFaults
+	cp.FirstViolationNS = int64(r.firstAt)
+	if r.best != nil {
+		cp.BestPath = append([]int(nil), r.best.Path...)
+		cp.BestLen = len(r.best.Schedule)
+	}
+	r.mu.Unlock()
+	if r.set != nil {
+		cp.Dedup = r.set.Snapshot()
+	}
+	return r.st.Save(cp)
+}
+
+// startCheckpoint launches the periodic checkpoint writer and returns its
+// stop function. A failed write fails the whole run: continuing with a stale
+// checkpoint would make a later resume silently wrong.
+func (e *Engine) startCheckpoint(r *engineRun) func() {
+	if r.st == nil {
+		return func() {}
+	}
+	every := e.CheckpointEvery
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if err := r.saveCheckpoint(false); err != nil {
+					r.fail(fmt.Errorf("explore: checkpoint: %w", err))
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}
+
 // startProgress launches the periodic throughput reporter and returns its
 // stop function.
 func (e *Engine) startProgress(r *engineRun) func() {
@@ -352,13 +572,17 @@ func (e *Engine) startProgress(r *engineRun) func() {
 				execs := r.execs.Load()
 				rate := float64(execs-lastExecs) / now.Sub(lastTime).Seconds()
 				lastExecs, lastTime = execs, now
-				e.Progress(Progress{
+				p := Progress{
 					Executions: execs,
 					Rate:       rate,
 					Frontier:   r.fr.pending(),
 					Violations: r.violations.Load(),
-					Elapsed:    time.Since(r.start),
-				})
+					Elapsed:    r.elapsed0 + time.Since(r.start),
+				}
+				if r.set != nil {
+					p.Dedup = r.set.Stats()
+				}
+				e.Progress(p)
 			}
 		}
 	}()

@@ -21,10 +21,12 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dedup"
 	"repro/internal/fault"
 	"repro/internal/object"
 	"repro/internal/run"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -106,6 +108,9 @@ type Outcome struct {
 	// ViolationLatency is the wall-clock time until the first violating
 	// execution was replayed (engine runs only; zero if none was found).
 	ViolationLatency time.Duration
+	// Dedup holds the state-cache counters of a deduplicated engine run
+	// (nil when deduplication was off).
+	Dedup *dedup.Stats
 }
 
 // OK reports that no violation was found.
@@ -246,10 +251,41 @@ func ConfigFrom(s *run.Settings) Config {
 // options — the one way executions are constructed across the packages. The
 // exploration runs on the parallel engine with the configured worker count
 // (run.WithWorkers; default GOMAXPROCS) and honors ctx cancellation.
+//
+// run.WithCheckpoint creates a run store and checkpoints into it;
+// run.WithResume opens an existing run store, refuses mismatched settings
+// (store.ErrMismatch), and continues the stored exploration. run.WithDedup
+// turns on state deduplication.
 func CheckWith(ctx context.Context, opts ...run.Option) (*Outcome, error) {
 	s := run.NewSettings(opts...)
-	eng := &Engine{Workers: s.Workers}
-	return eng.Check(ctx, ConfigFrom(s))
+	eng := &Engine{Workers: s.Workers, Dedup: s.Dedup, CheckpointEvery: s.CheckpointEvery}
+	cfg := ConfigFrom(s)
+	switch {
+	case s.Resume != "":
+		st, err := store.Open(s.Resume)
+		if err != nil {
+			return nil, err
+		}
+		m, err := ManifestFor(cfg, eng.Exhaustive, eng.Dedup)
+		if err != nil {
+			return nil, err
+		}
+		if err := st.Verify(m); err != nil {
+			return nil, err
+		}
+		eng.Store = st
+	case s.CheckpointDir != "":
+		m, err := ManifestFor(cfg, eng.Exhaustive, eng.Dedup)
+		if err != nil {
+			return nil, err
+		}
+		st, err := store.Create(s.CheckpointDir, m)
+		if err != nil {
+			return nil, err
+		}
+		eng.Store = st
+	}
+	return eng.Check(ctx, cfg)
 }
 
 // Check exhaustively explores the execution tree and returns the outcome.
@@ -266,7 +302,7 @@ func Check(cfg Config) (*Outcome, error) {
 	for out.Executions < cap {
 		c.arity = c.arity[:0]
 		c.pos = 0
-		ce, verdict, stats, err := runOnce(context.Background(), cfg, kind, c)
+		ce, verdict, stats, err := runOnce(context.Background(), cfg, kind, c, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +331,13 @@ type runStats struct {
 	faults   int
 }
 
-func runOnce(ctx context.Context, cfg Config, kind fault.Kind, c *chooser) (*Counterexample, run.Verdict, runStats, error) {
+// runOnce replays one execution along the chooser's path. dh, when non-nil,
+// enables state deduplication: the simulator feeds every event to the
+// worker's canonical-state tracker, and before consuming each scheduling
+// decision the state fingerprint is checked against the shared set — a
+// state already reached by a lexicographically smaller path halts the
+// replay (dh.prunedAt records where) and the caller skips its subtree.
+func runOnce(ctx context.Context, cfg Config, kind fault.Kind, c *chooser, dh *dedupHandle) (*Counterexample, run.Verdict, runStats, error) {
 	budget := fault.NewFixedBudget(cfg.FaultyObjects, cfg.FaultsPerObject)
 	policy := cfg.FixedPolicy
 	if policy == nil {
@@ -312,8 +354,19 @@ func runOnce(ctx context.Context, cfg Config, kind fault.Kind, c *chooser) (*Cou
 
 	bank := object.NewBank(cfg.Protocol.Objects(), budget, policy)
 
+	var observer func(trace.Event)
+	if dh != nil {
+		dh.prunedAt = -1
+		dh.tracker.Reset()
+		observer = dh.tracker.Observe
+	}
+
 	var schedule []int
 	sched := sim.SchedulerFunc(func(enabled []int) (int, bool) {
+		if dh != nil && dh.set.Visit(dh.tracker.Fingerprint(), c.path[:c.pos]) == dedup.Prune {
+			dh.prunedAt = c.pos
+			return 0, false
+		}
 		pick := enabled[0]
 		if len(enabled) > 1 {
 			pick = enabled[c.choose(len(enabled))]
@@ -332,6 +385,7 @@ func runOnce(ctx context.Context, cfg Config, kind fault.Kind, c *chooser) (*Cou
 		Scheduler: sched,
 		StepLimit: limit,
 		Log:       log,
+		Observer:  observer,
 	})
 	if err != nil && res == nil {
 		return nil, run.Verdict{}, runStats{}, err
@@ -340,6 +394,12 @@ func runOnce(ctx context.Context, cfg Config, kind fault.Kind, c *chooser) (*Cou
 		// Cancellation (or any future partial-result condition): the
 		// truncated execution must not be evaluated as if it completed.
 		return nil, run.Verdict{}, runStats{}, err
+	}
+	if dh != nil && dh.prunedAt >= 0 {
+		// Deduplicated: the replay halted at an already-covered state.
+		// Not evaluated and not counted — any violation visible in the
+		// halted prefix also appears below the stored smaller path.
+		return nil, run.Verdict{}, runStats{}, nil
 	}
 
 	stats := runStats{faults: budget.TotalFaults()}

@@ -5,72 +5,132 @@ import (
 	"sync/atomic"
 )
 
-// frontier is the shared pool of unexplored subtree roots, each identified
-// by a choice-path prefix. Workers pop the most recently pushed prefix
-// (LIFO keeps the pool depth-first and therefore small) and donate subtrees
-// back when the pool runs low, so work granularity adapts to the shape of
-// the execution tree: a deep skinny tree stays one chunk, a bushy tree
-// fans out immediately.
+// task is one unexplored region of the execution tree: the subtree rooted at
+// path, enumerated with backtracking floor `floor`. A freshly donated
+// subtree has floor == len(path); a task checkpointed mid-enumeration keeps
+// the worker's current leaf as path with the original floor, so resuming it
+// revisits exactly the leaves the worker had not finished.
+type task struct {
+	path  []int
+	floor int
+}
+
+// frontier is the shared pool of unexplored tasks. Workers pop the most
+// recently pushed task (LIFO keeps the pool depth-first and therefore small)
+// and donate subtrees back when the pool runs low, so work granularity
+// adapts to the shape of the execution tree: a deep skinny tree stays one
+// chunk, a bushy tree fans out immediately.
+//
+// For crash-safe checkpointing the frontier also tracks, per worker, the
+// task it currently holds (a slot, assigned under the frontier lock inside
+// pop so no task is ever in flight unaccounted). snapshot returns the queued
+// tasks plus every claimed slot — together they cover all unfinished work at
+// the moment of the call.
 type frontier struct {
 	mu     sync.Mutex
 	wait   sync.Cond
-	stack  [][]int
-	busy   int  // workers holding a popped prefix
+	stack  []task
+	busy   int  // workers holding a popped task
 	closed bool // drained (or aborted): all pops fail from now on
+
+	slots []slot
 
 	// size mirrors len(stack) so starving() needs no lock on the replay
 	// hot path.
 	size atomic.Int64
 }
 
-func newFrontier(root []int) *frontier {
-	f := &frontier{stack: [][]int{root}}
+// slot is one worker's claimed task, updated as the worker's enumeration
+// progresses. Lock ordering: frontier.mu before slot.mu, never the reverse.
+type slot struct {
+	mu     sync.Mutex
+	active bool
+	path   []int
+	floor  int
+}
+
+func (s *slot) set(t task) {
+	s.mu.Lock()
+	s.active = true
+	s.path = append(s.path[:0], t.path...)
+	s.floor = t.floor
+	s.mu.Unlock()
+}
+
+func (s *slot) clear() {
+	s.mu.Lock()
+	s.active = false
+	s.mu.Unlock()
+}
+
+func newFrontier(tasks []task, workers int) *frontier {
+	f := &frontier{stack: tasks, slots: make([]slot, workers)}
 	f.wait.L = &f.mu
-	f.size.Store(1)
+	f.size.Store(int64(len(tasks)))
 	return f
 }
 
-// push adds subtree roots to the pool.
-func (f *frontier) push(prefixes [][]int) {
-	if len(prefixes) == 0 {
+// push adds tasks to the pool.
+func (f *frontier) push(tasks []task) {
+	if len(tasks) == 0 {
 		return
 	}
 	f.mu.Lock()
-	f.stack = append(f.stack, prefixes...)
+	f.stack = append(f.stack, tasks...)
 	f.size.Store(int64(len(f.stack)))
 	f.mu.Unlock()
 	f.wait.Broadcast()
 }
 
-// pop blocks until a prefix is available and claims it. It returns ok=false
-// when the exploration is over: every prefix was processed and no busy
-// worker remains to donate more, or the frontier was aborted.
-func (f *frontier) pop() ([]int, bool) {
+// pop blocks until a task is available and claims it into worker w's slot.
+// It returns ok=false when the exploration is over: every task was processed
+// and no busy worker remains to donate more, or the frontier was aborted.
+func (f *frontier) pop(w int) (task, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for {
 		if f.closed {
-			return nil, false
+			return task{}, false
 		}
 		if n := len(f.stack); n > 0 {
-			p := f.stack[n-1]
+			t := f.stack[n-1]
 			f.stack = f.stack[:n-1]
 			f.size.Store(int64(n - 1))
 			f.busy++
-			return p, true
+			f.slots[w].set(t)
+			return t, true
 		}
 		if f.busy == 0 {
 			// Nobody is working, nobody can donate: drained.
 			f.closed = true
 			f.wait.Broadcast()
-			return nil, false
+			return task{}, false
 		}
 		f.wait.Wait()
 	}
 }
 
-// done releases a claim taken by pop.
-func (f *frontier) done() {
+// publish records worker w's enumeration progress: the subtree rooted at
+// path (floor = backtracking floor) is what remains of its claimed task.
+// Callers must publish only *after* pushing any donation carved from the
+// task, so a snapshot between the two covers the donated subtrees twice
+// rather than never.
+func (f *frontier) publish(w int, path []int, floor int) {
+	s := &f.slots[w]
+	s.mu.Lock()
+	s.path = append(s.path[:0], path...)
+	s.floor = floor
+	s.mu.Unlock()
+}
+
+// done releases the claim taken by pop. finished reports that the task's
+// subtree was fully enumerated (or is covered elsewhere); an abandoned task
+// — cancellation, execution cap — stays in the slot so snapshot still
+// accounts for it.
+func (f *frontier) done(w int, finished bool) {
+	if finished {
+		f.slots[w].clear()
+	}
 	f.mu.Lock()
 	f.busy--
 	idle := f.busy == 0 && len(f.stack) == 0
@@ -80,7 +140,8 @@ func (f *frontier) done() {
 	}
 }
 
-// abort unblocks all waiters and fails every future pop.
+// abort unblocks all waiters and fails every future pop. Queued tasks stay
+// in the stack so a post-abort snapshot still covers them.
 func (f *frontier) abort() {
 	f.mu.Lock()
 	f.closed = true
@@ -88,13 +149,33 @@ func (f *frontier) abort() {
 	f.wait.Broadcast()
 }
 
-// starving reports that the pool has fewer pending prefixes than the low
-//-water mark, asking busy workers to donate a subtree.
+// snapshot returns every unfinished task: the queued stack plus all claimed
+// slots, deep-copied so callers may serialize them while workers continue.
+func (f *frontier) snapshot() []task {
+	f.mu.Lock()
+	out := make([]task, 0, len(f.stack)+len(f.slots))
+	for _, t := range f.stack {
+		out = append(out, task{path: append([]int(nil), t.path...), floor: t.floor})
+	}
+	f.mu.Unlock()
+	for i := range f.slots {
+		s := &f.slots[i]
+		s.mu.Lock()
+		if s.active {
+			out = append(out, task{path: append([]int(nil), s.path...), floor: s.floor})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// starving reports that the pool has fewer pending tasks than the low-water
+// mark, asking busy workers to donate a subtree.
 func (f *frontier) starving(lowWater int) bool {
 	return f.size.Load() < int64(lowWater)
 }
 
-// pending returns the number of queued subtree roots (for progress reports).
+// pending returns the number of queued tasks (for progress reports).
 func (f *frontier) pending() int {
 	return int(f.size.Load())
 }

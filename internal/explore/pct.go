@@ -11,6 +11,11 @@ import (
 	"repro/internal/trace"
 )
 
+// StressPCTWith is the unified-options form of StressPCT.
+func StressPCTWith(runs int, seed int64, depth, stepEstimate int, opts ...run.Option) (*StressOutcome, error) {
+	return StressPCT(ConfigFrom(run.NewSettings(opts...)), runs, seed, depth, stepEstimate)
+}
+
 // StressPCT samples executions like Stress but schedules each run with a
 // PCT scheduler (random priorities, depth−1 priority change points) instead
 // of a uniform random walk. The paper's impossibility executions are long

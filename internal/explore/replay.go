@@ -25,7 +25,7 @@ func Replay(cfg Config, path []int) (*Counterexample, error) {
 		kind = fault.Overriding
 	}
 	c := &chooser{path: append([]int(nil), path...)}
-	ce, verdict, _, err := runOnce(context.Background(), cfg, kind, c)
+	ce, verdict, _, err := runOnce(context.Background(), cfg, kind, c, nil)
 	if err != nil {
 		return nil, err
 	}

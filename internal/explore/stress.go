@@ -36,6 +36,17 @@ func (o *StressOutcome) Rate() float64 {
 	return float64(o.Violations) / float64(o.Runs)
 }
 
+// StressWith is the unified-options form of Stress: the execution space is
+// described by run.With... options instead of a Config literal.
+func StressWith(runs int, seed int64, opts ...run.Option) (*StressOutcome, error) {
+	return Stress(ConfigFrom(run.NewSettings(opts...)), runs, seed)
+}
+
+// SampleWith is the unified-options form of Sample.
+func SampleWith(seed int64, opts ...run.Option) (*Counterexample, error) {
+	return Sample(ConfigFrom(run.NewSettings(opts...)), seed)
+}
+
 // Stress samples the execution tree uniformly at random (both scheduling and
 // fault decisions) for the given number of runs. It is the scalable
 // complement to Check for configurations whose trees are too large to

@@ -94,7 +94,7 @@ func FindMinimal(cfg Config) (*Counterexample, *Outcome, error) {
 	for out.Executions < cap {
 		c.arity = c.arity[:0]
 		c.pos = 0
-		ce, verdict, stats, err := runOnce(context.Background(), cfg, kind, c)
+		ce, verdict, stats, err := runOnce(context.Background(), cfg, kind, c, nil)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/run"
 )
 
 // runE10 is the stage-budget ablation the paper invites in §4.3: "choosing
@@ -41,13 +43,13 @@ func runE10(w io.Writer, opts Options) error {
 		threshold := int64(-1)
 		for stages := int64(1); stages <= paperBound; stages++ {
 			proto := core.NewStagedWithBudget(c.f, c.t, stages)
-			out, err := explore.Check(explore.Config{
-				Protocol:        proto,
-				Inputs:          inputs(c.f + 1),
-				FaultyObjects:   objectIDs(c.f),
-				FaultsPerObject: c.t,
-				MaxExecutions:   exhaustiveCap,
-			})
+			out, err := explore.CheckWith(context.Background(),
+				run.WithProtocol(proto),
+				run.WithInputs(inputs(c.f+1)...),
+				run.WithFaultyObjects(objectIDs(c.f), c.t),
+				run.WithMaxExecutions(exhaustiveCap),
+				run.WithWorkers(opts.Workers),
+			)
 			if err != nil {
 				return err
 			}
@@ -80,12 +82,11 @@ func runE10(w io.Writer, opts Options) error {
 				continue
 			}
 			proto := core.NewStagedWithBudget(c.f, c.t, stages)
-			st, err := explore.Stress(explore.Config{
-				Protocol:        proto,
-				Inputs:          inputs(c.f + 1),
-				FaultyObjects:   objectIDs(c.f),
-				FaultsPerObject: c.t,
-			}, stressRuns, opts.Seed)
+			st, err := explore.StressWith(stressRuns, opts.Seed,
+				run.WithProtocol(proto),
+				run.WithInputs(inputs(c.f+1)...),
+				run.WithFaultyObjects(objectIDs(c.f), c.t),
+			)
 			if err != nil {
 				return err
 			}

@@ -31,39 +31,36 @@ func runE9(w io.Writer, opts Options) error {
 	type cfgRow struct {
 		name string
 		note string
-		cfg  explore.Config
+		opts []run.Option
 	}
 	rows := []cfgRow{
 		{
 			// Theorem 19 boundary: one process too many.
 			"figure3(f=1,t=1), n=3 (> f+1)",
 			"breakable (Thm 19); uniform sampling finds it",
-			explore.Config{
-				Protocol:        core.NewStaged(1, 1),
-				Inputs:          inputs(3),
-				FaultyObjects:   []int{0},
-				FaultsPerObject: 1,
+			[]run.Option{
+				run.WithProtocol(core.NewStaged(1, 1)),
+				run.WithInputs(inputs(3)...),
+				run.WithFaultyObjects([]int{0}, 1),
 			},
 		},
 		{
 			"figure3(f=2,t=1), n=4 (> f+1)",
 			"breakable (Thm 19) but needs covering-grade coordination — see E5",
-			explore.Config{
-				Protocol:        core.NewStaged(2, 1),
-				Inputs:          inputs(4),
-				FaultyObjects:   []int{0, 1},
-				FaultsPerObject: 1,
+			[]run.Option{
+				run.WithProtocol(core.NewStaged(2, 1)),
+				run.WithInputs(inputs(4)...),
+				run.WithFaultyObjects([]int{0, 1}, 1),
 			},
 		},
 		{
 			// Theorem 18 boundary: unbounded faults.
 			"figure1, n=3, t=∞",
 			"breakable (Thm 18); violations common",
-			explore.Config{
-				Protocol:        core.SingleCAS{},
-				Inputs:          inputs(3),
-				FaultyObjects:   []int{0},
-				FaultsPerObject: fault.Unbounded,
+			[]run.Option{
+				run.WithProtocol(core.SingleCAS{}),
+				run.WithInputs(inputs(3)...),
+				run.WithFaultyObjects([]int{0}, fault.Unbounded),
 			},
 		},
 		{
@@ -73,11 +70,10 @@ func runE9(w io.Writer, opts Options) error {
 			// anomaly of Theorem 4 extends to the staged protocol).
 			"figure3(f=1,t=1), actual t=3, n=2",
 			"provably robust anyway (n=2 anomaly, exhaustively verified)",
-			explore.Config{
-				Protocol:        core.NewStaged(1, 1),
-				Inputs:          inputs(2),
-				FaultyObjects:   []int{0},
-				FaultsPerObject: 3,
+			[]run.Option{
+				run.WithProtocol(core.NewStaged(1, 1)),
+				run.WithInputs(inputs(2)...),
+				run.WithFaultyObjects([]int{0}, 3),
 			},
 		},
 	}
@@ -85,7 +81,7 @@ func runE9(w io.Writer, opts Options) error {
 	t := NewTable("over-budget configuration", "runs", "consistency", "validity", "wait-freedom", "note")
 	totalConsistency := 0
 	for _, r := range rows {
-		consistency, validity, waitFreedom, err := tallyViolations(r.cfg, runs, opts.Seed)
+		consistency, validity, waitFreedom, err := tallyViolations(r.opts, runs, opts.Seed)
 		if err != nil {
 			return err
 		}
@@ -114,12 +110,11 @@ func runE9(w io.Writer, opts Options) error {
 	if opts.Quick {
 		pctRuns = 800
 	}
-	pctOut, err := explore.StressPCT(explore.Config{
-		Protocol:        core.NewStaged(2, 1),
-		Inputs:          inputs(4),
-		FaultyObjects:   []int{0, 1},
-		FaultsPerObject: 1,
-	}, pctRuns, opts.Seed, 3, 0)
+	pctOut, err := explore.StressPCTWith(pctRuns, opts.Seed, 3, 0,
+		run.WithProtocol(core.NewStaged(2, 1)),
+		run.WithInputs(inputs(4)...),
+		run.WithFaultyObjects([]int{0, 1}, 1),
+	)
 	if err != nil {
 		return err
 	}
@@ -138,9 +133,9 @@ func runE9(w io.Writer, opts Options) error {
 
 // tallyViolations samples the configuration's execution space and counts
 // violations by kind.
-func tallyViolations(cfg explore.Config, runs int, seed int64) (consistency, validity, waitFreedom int, err error) {
+func tallyViolations(cfgOpts []run.Option, runs int, seed int64) (consistency, validity, waitFreedom int, err error) {
 	for i := 0; i < runs; i++ {
-		ce, err2 := explore.Sample(cfg, seed+int64(i))
+		ce, err2 := explore.SampleWith(seed+int64(i), cfgOpts...)
 		if err2 != nil {
 			return 0, 0, 0, err2
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -61,13 +62,13 @@ func runE7(w io.Writer, opts Options) error {
 	t := NewTable("scenario", "fault model", "budget", "outcome", "expected")
 
 	// Silent faults, bounded budget: the retry protocol recovers.
-	out, err := explore.Check(explore.Config{
-		Protocol:        core.NewSilentRetry(2),
-		Inputs:          inputs(2),
-		FaultyObjects:   []int{0},
-		FaultsPerObject: 2,
-		Kind:            fault.Silent,
-	})
+	out, err := explore.CheckWith(context.Background(),
+		run.WithProtocol(core.NewSilentRetry(2)),
+		run.WithInputs(inputs(2)...),
+		run.WithFaultyObjects([]int{0}, 2),
+		run.WithFaultKind(fault.Silent),
+		run.WithWorkers(opts.Workers),
+	)
 	if err != nil {
 		return err
 	}
@@ -79,14 +80,14 @@ func runE7(w io.Writer, opts Options) error {
 	}
 
 	// Silent faults, unbounded: liveness is unrecoverable.
-	out, err = explore.Check(explore.Config{
-		Protocol:        core.NewSilentRetry(1),
-		Inputs:          inputs(2),
-		FaultyObjects:   []int{0},
-		FaultsPerObject: fault.Unbounded,
-		Kind:            fault.Silent,
-		StepLimit:       16,
-	})
+	out, err = explore.CheckWith(context.Background(),
+		run.WithProtocol(core.NewSilentRetry(1)),
+		run.WithInputs(inputs(2)...),
+		run.WithFaultyObjects([]int{0}, fault.Unbounded),
+		run.WithFaultKind(fault.Silent),
+		run.WithStepLimit(16),
+		run.WithWorkers(opts.Workers),
+	)
 	if err != nil {
 		return err
 	}
@@ -99,12 +100,12 @@ func runE7(w io.Writer, opts Options) error {
 	// The expressiveness gap. Functional overriding faults, full budget,
 	// exhaustive: Figure 3 at (f=1, t=1, n=2) provably survives...
 	proto := core.NewStaged(1, 1)
-	out, err = explore.Check(explore.Config{
-		Protocol:        proto,
-		Inputs:          inputs(2),
-		FaultyObjects:   []int{0},
-		FaultsPerObject: 1,
-	})
+	out, err = explore.CheckWith(context.Background(),
+		run.WithProtocol(proto),
+		run.WithInputs(inputs(2)...),
+		run.WithFaultyObjects([]int{0}, 1),
+		run.WithWorkers(opts.Workers),
+	)
 	if err != nil {
 		return err
 	}
@@ -149,13 +150,13 @@ func runE7(w io.Writer, opts Options) error {
 		invisible := fault.OnObjects(fault.PolicyFunc(func(fault.Op) fault.Proposal {
 			return fault.Proposal{Kind: fault.Invisible, Return: forgedOld}
 		}), 1)
-		res, err := run.Consensus(run.Config{
-			Protocol:  core.NewFPlusOne(1),
-			Inputs:    in3,
-			Scheduler: sim.NewRandom(seed),
-			Budget:    fault.NewFixedBudget([]int{1}, 1),
-			Policy:    invisible,
-		})
+		res, err := run.ConsensusWith(
+			run.WithProtocol(core.NewFPlusOne(1)),
+			run.WithInputs(in3...),
+			run.WithScheduler(sim.NewRandom(seed)),
+			run.WithBudget(fault.NewFixedBudget([]int{1}, 1)),
+			run.WithPolicy(invisible),
+		)
 		if err != nil {
 			return err
 		}

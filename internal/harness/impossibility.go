@@ -135,14 +135,13 @@ func runE5(w io.Writer, opts Options) error {
 		// find a violation — the directed covering attack and the
 		// exhaustive search agree on Theorem 19.
 		if f <= 2 {
-			eng := &explore.Engine{Workers: opts.Workers}
-			out, err := eng.Check(context.Background(), explore.Config{
-				Protocol:        proto,
-				Inputs:          inputs(f + 2),
-				FaultyObjects:   objectIDs(proto.Objects()),
-				FaultsPerObject: 1,
-				MaxExecutions:   100_000,
-			})
+			out, err := explore.CheckWith(context.Background(),
+				run.WithProtocol(proto),
+				run.WithInputs(inputs(f+2)...),
+				run.WithFaultyObjects(objectIDs(proto.Objects()), 1),
+				run.WithMaxExecutions(100_000),
+				run.WithWorkers(opts.Workers),
+			)
 			if err != nil {
 				return err
 			}

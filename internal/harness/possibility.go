@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,12 +18,12 @@ import (
 // unboundedly many overriding faults solves two-process consensus.
 func runE1(w io.Writer, opts Options) error {
 	// Part 1: exhaustive verification over the complete execution tree.
-	out, err := explore.Check(explore.Config{
-		Protocol:        core.SingleCAS{},
-		Inputs:          inputs(2),
-		FaultyObjects:   []int{0},
-		FaultsPerObject: fault.Unbounded,
-	})
+	out, err := explore.CheckWith(context.Background(),
+		run.WithProtocol(core.SingleCAS{}),
+		run.WithInputs(inputs(2)...),
+		run.WithFaultyObjects([]int{0}, fault.Unbounded),
+		run.WithWorkers(opts.Workers),
+	)
 	if err != nil {
 		return err
 	}
@@ -52,13 +53,13 @@ func runE1(w io.Writer, opts Options) error {
 		for i := 0; i < runs; i++ {
 			seed := opts.Seed + int64(i)
 			budget := fault.NewBudget(1, fault.Unbounded)
-			res, err := run.Consensus(run.Config{
-				Protocol:  core.SingleCAS{},
-				Inputs:    inputs(2),
-				Scheduler: sim.NewRandom(seed),
-				Budget:    budget,
-				Policy:    fault.WhenEffective(fault.Rate(fault.Overriding, rate, seed)),
-			})
+			res, err := run.ConsensusWith(
+				run.WithProtocol(core.SingleCAS{}),
+				run.WithInputs(inputs(2)...),
+				run.WithScheduler(sim.NewRandom(seed)),
+				run.WithBudget(budget),
+				run.WithPolicy(fault.WhenEffective(fault.Rate(fault.Overriding, rate, seed))),
+			)
 			if err != nil {
 				return err
 			}
@@ -102,13 +103,13 @@ func runE2(w io.Writer, opts Options) error {
 			for i := 0; i < runs; i++ {
 				seed := opts.Seed + int64(i)
 				budget := fault.NewFixedBudget(objectIDs(f), fault.Unbounded)
-				res, err := run.Consensus(run.Config{
-					Protocol:  proto,
-					Inputs:    inputs(n),
-					Scheduler: sim.NewRandom(seed),
-					Budget:    budget,
-					Policy:    fault.WhenEffective(fault.Always(fault.Overriding)),
-				})
+				res, err := run.ConsensusWith(
+					run.WithProtocol(proto),
+					run.WithInputs(inputs(n)...),
+					run.WithScheduler(sim.NewRandom(seed)),
+					run.WithBudget(budget),
+					run.WithPolicy(fault.WhenEffective(fault.Always(fault.Overriding))),
+				)
 				if err != nil {
 					return err
 				}
@@ -156,13 +157,13 @@ func runE3(w io.Writer, opts Options) error {
 
 		// Exhaustive first; fall back to randomized stress when the
 		// tree exceeds the cap.
-		out, err := explore.Check(explore.Config{
-			Protocol:        proto,
-			Inputs:          inputs(n),
-			FaultyObjects:   objectIDs(cfg.f),
-			FaultsPerObject: cfg.t,
-			MaxExecutions:   exhaustiveCap,
-		})
+		out, err := explore.CheckWith(context.Background(),
+			run.WithProtocol(proto),
+			run.WithInputs(inputs(n)...),
+			run.WithFaultyObjects(objectIDs(cfg.f), cfg.t),
+			run.WithMaxExecutions(exhaustiveCap),
+			run.WithWorkers(opts.Workers),
+		)
 		if err != nil {
 			return err
 		}
@@ -188,14 +189,14 @@ func runE3(w io.Writer, opts Options) error {
 					}
 				}
 			}
-			res, err := run.Consensus(run.Config{
-				Protocol:  proto,
-				Inputs:    inputs(n),
-				Scheduler: sim.NewRandom(seed),
-				Budget:    fault.NewFixedBudget(objectIDs(cfg.f), cfg.t),
-				Policy:    fault.WhenEffective(fault.Rate(fault.Overriding, 0.4, seed)),
-				Observer:  observer,
-			})
+			res, err := run.ConsensusWith(
+				run.WithProtocol(proto),
+				run.WithInputs(inputs(n)...),
+				run.WithScheduler(sim.NewRandom(seed)),
+				run.WithBudget(fault.NewFixedBudget(objectIDs(cfg.f), cfg.t)),
+				run.WithPolicy(fault.WhenEffective(fault.Rate(fault.Overriding, 0.4, seed))),
+				run.WithObserver(observer),
+			)
 			if err != nil {
 				return err
 			}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/run"
 )
 
 // Evidence says how a level of the estimate was established.
@@ -139,15 +140,14 @@ func ForFaultyCAS(f, t int, opts Options) (*Estimate, error) {
 }
 
 func checkLevel(proto core.Staged, faulty []int, t, n int, opts Options) (Level, error) {
-	cfg := explore.Config{
-		Protocol:        proto,
-		Inputs:          inputs(n),
-		FaultyObjects:   faulty,
-		FaultsPerObject: t,
-		MaxExecutions:   opts.ExhaustiveBudget,
+	cfgOpts := []run.Option{
+		run.WithProtocol(proto),
+		run.WithInputs(inputs(n)...),
+		run.WithFaultyObjects(faulty, t),
+		run.WithMaxExecutions(opts.ExhaustiveBudget),
+		run.WithWorkers(opts.Workers),
 	}
-	eng := &explore.Engine{Workers: opts.Workers}
-	out, err := eng.Check(context.Background(), cfg)
+	out, err := explore.CheckWith(context.Background(), cfgOpts...)
 	if err != nil {
 		return Level{}, err
 	}
@@ -160,11 +160,11 @@ func checkLevel(proto core.Staged, faulty []int, t, n int, opts Options) (Level,
 	// Tree too large: fall back to randomized stress — a uniform pass
 	// plus a PCT pass (solo bursts with targeted preemptions, the shape
 	// of the paper's adversarial executions).
-	st, err := explore.Stress(cfg, opts.StressRuns, opts.Seed+int64(n))
+	st, err := explore.StressWith(opts.StressRuns, opts.Seed+int64(n), cfgOpts...)
 	if err != nil {
 		return Level{}, err
 	}
-	pct, err := explore.StressPCT(cfg, opts.StressRuns, opts.Seed+int64(n), 3, 0)
+	pct, err := explore.StressPCTWith(opts.StressRuns, opts.Seed+int64(n), 3, 0, cfgOpts...)
 	if err != nil {
 		return Level{}, err
 	}

@@ -2,6 +2,7 @@ package run
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -49,6 +50,17 @@ type Settings struct {
 	MaxExecutions int
 	// Workers is the exploration parallelism (0 means GOMAXPROCS).
 	Workers int
+	// Dedup enables state deduplication in the exploration engine.
+	Dedup bool
+	// CheckpointDir, when non-empty, makes the exploration engine create a
+	// run store there and checkpoint into it periodically.
+	CheckpointDir string
+	// CheckpointEvery overrides the checkpoint period (0 means the
+	// engine's default).
+	CheckpointEvery time.Duration
+	// Resume, when non-empty, resumes the exploration recorded in that run
+	// directory; the stored manifest must match these settings.
+	Resume string
 	// Quick shrinks experiment sweeps and sample counts.
 	Quick bool
 	// Seed drives every randomized component.
@@ -138,6 +150,23 @@ func WithMaxExecutions(n int) Option { return func(s *Settings) { s.MaxExecution
 
 // WithWorkers sets the exploration parallelism (0 means GOMAXPROCS).
 func WithWorkers(n int) Option { return func(s *Settings) { s.Workers = n } }
+
+// WithDedup enables state deduplication in the exploration engine: subtrees
+// rooted at an already-visited canonical execution state are pruned.
+func WithDedup() Option { return func(s *Settings) { s.Dedup = true } }
+
+// WithCheckpoint makes the exploration engine create a run store in dir and
+// persist crash-safe checkpoints every period (0 means the engine default).
+func WithCheckpoint(dir string, every time.Duration) Option {
+	return func(s *Settings) {
+		s.CheckpointDir = dir
+		s.CheckpointEvery = every
+	}
+}
+
+// WithResume makes the exploration engine resume the run recorded in dir,
+// refusing to start if the stored manifest does not match these settings.
+func WithResume(dir string) Option { return func(s *Settings) { s.Resume = dir } }
 
 // WithQuick shrinks experiment sweeps and sample counts.
 func WithQuick(quick bool) Option { return func(s *Settings) { s.Quick = quick } }

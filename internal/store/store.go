@@ -1,0 +1,251 @@
+// Package store persists exploration runs so they survive deadlines,
+// crashes, and redeployments: a run directory holds an immutable manifest
+// (what is being explored, hashed so a resumed run refuses mismatched
+// settings) and a sequence of atomic checkpoints (the work-stealing frontier,
+// the dedup shards, and the aggregated outcome so far).
+//
+// Every write is crash-safe: the file is written to a temporary name in the
+// run directory, fsync'd, renamed over the target, and the directory is
+// fsync'd — a torn write can lose at most the newest checkpoint, never
+// corrupt an existing one.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dedup"
+)
+
+// FormatVersion identifies the checkpoint format; a store written by a
+// different version refuses to resume.
+const FormatVersion = 1
+
+const (
+	manifestFile   = "manifest.json"
+	checkpointFile = "checkpoint.json"
+)
+
+// Manifest pins down what a run directory explores. Every field that
+// influences the shape or outcome of the exploration participates in the
+// settings hash; fields that only change how fast the answer is found
+// (worker count, dedup, execution cap) are recorded for inspection but may
+// vary across resumes.
+type Manifest struct {
+	FormatVersion int    `json:"format_version"`
+	Engine        string `json:"engine"`
+	CreatedAt     string `json:"created_at,omitempty"`
+
+	Protocol        string  `json:"protocol"`
+	Objects         int     `json:"objects"`
+	Inputs          []int64 `json:"inputs"`
+	FaultyObjects   []int   `json:"faulty_objects"`
+	FaultsPerObject int     `json:"faults_per_object"`
+	Kind            string  `json:"kind"`
+	StepLimit       int     `json:"step_limit"`
+	Exhaustive      bool    `json:"exhaustive"`
+
+	// Advisory (not hashed): tuning that does not change the verdict.
+	MaxExecutions int  `json:"max_executions"`
+	Dedup         bool `json:"dedup"`
+
+	// Extra carries driver-specific reconstruction data (e.g. the CLI
+	// flags that built the protocol). Not hashed.
+	Extra map[string]string `json:"extra,omitempty"`
+
+	// SettingsHash is the hash of the verdict-relevant fields above,
+	// filled in by Create and verified on resume.
+	SettingsHash string `json:"settings_hash"`
+}
+
+// Hash computes the settings hash over the verdict-relevant fields.
+func (m *Manifest) Hash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|%s|%d|%v|%v|%d|%s|%d|%v",
+		m.FormatVersion, m.Protocol, m.Objects, m.Inputs,
+		m.FaultyObjects, m.FaultsPerObject, m.Kind, m.StepLimit, m.Exhaustive)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Task is one unexplored region of the execution tree: the subtree rooted
+// at Path, backtracking no shallower than Floor (Floor < len(Path) marks an
+// in-progress enumeration whose positions below Floor are not yet
+// exhausted).
+type Task struct {
+	Path  []int `json:"path"`
+	Floor int   `json:"floor"`
+}
+
+// Checkpoint is one atomic snapshot of an exploration in flight.
+type Checkpoint struct {
+	Seq  int  `json:"seq"`
+	Done bool `json:"done"` // the exploration finished; Tasks is empty
+
+	Executions   int64 `json:"executions"`
+	Violations   int64 `json:"violations"`
+	MaxProcSteps int   `json:"max_proc_steps"`
+	MaxFaults    int   `json:"max_faults"`
+	Capped       bool  `json:"capped"`
+
+	// BestPath is the canonical violating choice path found so far (nil
+	// when none): replaying it reconstructs the counterexample.
+	BestPath []int `json:"best_path,omitempty"`
+	// BestLen is the schedule length of the best violation (exhaustive
+	// mode's minimality metric).
+	BestLen int `json:"best_len,omitempty"`
+	// FirstViolationNS is the wall-clock latency to the first violation.
+	FirstViolationNS int64 `json:"first_violation_ns,omitempty"`
+	// ElapsedNS accumulates exploration wall-clock across resumes.
+	ElapsedNS int64 `json:"elapsed_ns"`
+
+	Tasks []Task        `json:"tasks"`
+	Dedup []dedup.Entry `json:"dedup,omitempty"`
+}
+
+// Store is an open run directory.
+type Store struct {
+	dir      string
+	manifest Manifest
+	cp       *Checkpoint
+	seq      int
+}
+
+// ErrMismatch reports that a run directory's manifest does not match the
+// settings of the exploration trying to resume it.
+var ErrMismatch = errors.New("store: run settings do not match the manifest")
+
+// Create initializes a new run directory with the given manifest. It fails
+// if the directory already contains a manifest — resuming must go through
+// Open so the settings check cannot be bypassed.
+func Create(dir string, m Manifest) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestFile)); err == nil {
+		return nil, fmt.Errorf("store: %s already holds a run (resume it, or choose a fresh directory)", dir)
+	}
+	m.FormatVersion = FormatVersion
+	m.SettingsHash = m.Hash()
+	if m.CreatedAt == "" {
+		m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := writeFileAtomic(dir, manifestFile, data); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, manifest: m}, nil
+}
+
+// Open loads an existing run directory: its manifest and, when present, the
+// latest checkpoint.
+func Open(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: %s holds no run manifest: %w", dir, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: corrupt manifest in %s: %w", dir, err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("store: %s uses checkpoint format %d, this binary writes %d",
+			dir, m.FormatVersion, FormatVersion)
+	}
+	if got := m.Hash(); got != m.SettingsHash {
+		return nil, fmt.Errorf("store: manifest hash mismatch in %s (recorded %s, computed %s)",
+			dir, m.SettingsHash, got)
+	}
+	s := &Store{dir: dir, manifest: m}
+
+	cpData, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// A manifest without a checkpoint: the run died before its first
+		// snapshot; resume restarts from the root.
+	case err != nil:
+		return nil, fmt.Errorf("store: %w", err)
+	default:
+		var cp Checkpoint
+		if err := json.Unmarshal(cpData, &cp); err != nil {
+			return nil, fmt.Errorf("store: corrupt checkpoint in %s: %w", dir, err)
+		}
+		s.cp = &cp
+		s.seq = cp.Seq
+	}
+	return s, nil
+}
+
+// Dir returns the run directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Manifest returns the run's manifest.
+func (s *Store) Manifest() Manifest { return s.manifest }
+
+// Checkpoint returns the latest checkpoint loaded by Open, or nil for a
+// fresh run.
+func (s *Store) Checkpoint() *Checkpoint { return s.cp }
+
+// Verify checks that the given manifest describes the same exploration as
+// the stored one, returning ErrMismatch with the differing hash otherwise.
+func (s *Store) Verify(m Manifest) error {
+	m.FormatVersion = FormatVersion
+	if got, want := m.Hash(), s.manifest.SettingsHash; got != want {
+		return fmt.Errorf("%w: settings hash %s, run was created with %s", ErrMismatch, got, want)
+	}
+	return nil
+}
+
+// Save atomically persists a checkpoint, assigning it the next sequence
+// number. The previous checkpoint is intact until the rename commits.
+func (s *Store) Save(cp *Checkpoint) error {
+	s.seq++
+	cp.Seq = s.seq
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return writeFileAtomic(s.dir, checkpointFile, data)
+}
+
+// writeFileAtomic writes name under dir crash-safely: temp file in the same
+// directory, fsync, rename, directory fsync.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dedup"
+)
+
+func testManifest() Manifest {
+	return Manifest{
+		Engine:          "explore.Engine/test",
+		Protocol:        "figure3/staged(f=1,t=1)",
+		Objects:         1,
+		Inputs:          []int64{10, 11},
+		FaultyObjects:   []int{0},
+		FaultsPerObject: 1,
+		Kind:            "overriding",
+	}
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	s, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Checkpoint() != nil {
+		t.Fatal("fresh store has a checkpoint")
+	}
+
+	cp := &Checkpoint{
+		Executions: 42,
+		Tasks:      []Task{{Path: []int{1, 0}, Floor: 1}, {Path: nil, Floor: 0}},
+		Dedup:      []dedup.Entry{{Hi: 1, Lo: 2, Path: []int{0}}},
+		BestPath:   []int{0, 1, 1},
+	}
+	if err := s.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+
+	o, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := o.Checkpoint()
+	if got == nil {
+		t.Fatal("no checkpoint loaded")
+	}
+	if got.Seq != 2 || got.Executions != 42 {
+		t.Fatalf("checkpoint = %+v", got)
+	}
+	if len(got.Tasks) != 2 || got.Tasks[0].Floor != 1 {
+		t.Fatalf("tasks = %+v", got.Tasks)
+	}
+	if len(got.Dedup) != 1 || got.Dedup[0].Hi != 1 {
+		t.Fatalf("dedup = %+v", got.Dedup)
+	}
+	if o.Manifest().SettingsHash == "" {
+		t.Fatal("manifest hash not recorded")
+	}
+	// A subsequent Save continues the sequence.
+	if err := o.Save(&Checkpoint{}); err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Checkpoint().Seq != 3 {
+		t.Fatalf("seq = %d, want 3", o2.Checkpoint().Seq)
+	}
+}
+
+func TestCreateRefusesExistingRun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	if _, err := Create(dir, testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(dir, testManifest()); err == nil {
+		t.Fatal("Create over an existing run must fail")
+	}
+}
+
+func TestVerifyMismatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	s, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(testManifest()); err != nil {
+		t.Fatalf("matching manifest rejected: %v", err)
+	}
+	changed := testManifest()
+	changed.Inputs = []int64{10, 11, 12}
+	if err := s.Verify(changed); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+	// Tuning fields do not participate in the hash.
+	tuned := testManifest()
+	tuned.MaxExecutions = 999
+	tuned.Dedup = true
+	if err := s.Verify(tuned); err != nil {
+		t.Fatalf("tuning-only change rejected: %v", err)
+	}
+}
+
+func TestOpenRejectsCorruptManifest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	s, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	m.Inputs = []int64{1, 2, 3} // tamper without rehashing
+	tampered, _ := json.Marshal(&m)
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "hash mismatch") {
+		t.Fatalf("err = %v, want hash mismatch", err)
+	}
+}
+
+func TestOpenRejectsFutureFormat(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	if _, err := Create(dir, testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	var m Manifest
+	_ = json.Unmarshal(data, &m)
+	m.FormatVersion = FormatVersion + 1
+	tampered, _ := json.Marshal(&m)
+	os.WriteFile(filepath.Join(dir, "manifest.json"), tampered, 0o644)
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Fatalf("err = %v, want format rejection", err)
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	s, err := Create(dir, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Save(&Checkpoint{Executions: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 2 {
+		t.Fatalf("run dir holds %d files, want manifest + checkpoint", len(entries))
+	}
+}

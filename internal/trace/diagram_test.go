@@ -66,6 +66,44 @@ func TestDiagramFailedCASMark(t *testing.T) {
 	}
 }
 
+// TestDiagramFaultAndDecideSameStep: one granted scheduler step can append
+// two events for the same process — a CAS on which a fault fired and the
+// decision it led to. Both rows must render in that process's column, the
+// fault marked ⚡ and the decision spanning the column, with placeholder
+// dots everywhere else.
+func TestDiagramFaultAndDecideSameStep(t *testing.T) {
+	l := New()
+	// p0 sets the stage so the diagram has a second column to check.
+	l.Append(Event{Kind: EventCAS, Proc: 0, Object: 0,
+		Exp: word.Bottom, New: word.FromValue(10), Pre: word.Bottom,
+		Post: word.FromValue(10), Old: word.Bottom})
+	// p1's step: overridden CAS, then its decide, back to back.
+	l.Append(Event{Kind: EventCAS, Proc: 1, Object: 0,
+		Exp: word.Bottom, New: word.FromValue(11), Pre: word.FromValue(10),
+		Post: word.FromValue(11), Old: word.FromValue(10), Fault: fault.Overriding})
+	l.Append(Event{Kind: EventDecide, Proc: 1, Value: word.FromValue(11)})
+
+	d := l.Diagram()
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 events
+		t.Fatalf("diagram has %d lines:\n%s", len(lines), d)
+	}
+	faultRow, decideRow := lines[2], lines[3]
+	if !strings.Contains(faultRow, "⚡overriding") {
+		t.Errorf("fault row must carry the ⚡ mark: %q", faultRow)
+	}
+	if !strings.Contains(decideRow, "DECIDE 11") {
+		t.Errorf("decide row must carry the decision: %q", decideRow)
+	}
+	// Both rows belong to p1, so p0's column holds the placeholder dot.
+	for _, row := range []string{faultRow, decideRow} {
+		body := strings.TrimSpace(row[6:]) // strip the "#N" gutter
+		if !strings.HasPrefix(body, ".") {
+			t.Errorf("p1 event leaked into p0's column: %q", row)
+		}
+	}
+}
+
 func TestDiagramRegisterOps(t *testing.T) {
 	l := New()
 	l.Append(Event{Kind: EventWrite, Proc: 0, Object: 2, Value: word.FromValue(5)})

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Machine-readable benchmark results for the exploration engine.
+#
+# Runs the engine benchmarks (covering-sweep throughput across worker
+# counts, the sequential baseline, and the state-dedup sweep) and renders
+# the standard `go test -bench` output as BENCH_explore.json: ns/op,
+# states-per-second throughput, executions per verification, and the dedup
+# hit rate, plus a derived summary of the dedup states-explored reduction.
+#
+#   scripts/bench.sh              # 3 iterations per benchmark (default)
+#   BENCHTIME=10x scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+OUT="${OUT:-BENCH_explore.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+	-bench 'BenchmarkEngineCoveringSweep|BenchmarkSequentialCoveringSweep|BenchmarkEngineDedupSweep' \
+	-benchtime "$BENCHTIME" ./internal/explore/ | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+/^goos:/    { goos = $2 }
+/^goarch:/  { goarch = $2 }
+/^pkg:/     { pkg = $2 }
+/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/^Benchmark/, "", name)
+	sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+	iters = $2
+	line = "    {\"name\": \"" name "\", \"iterations\": " iters
+	for (i = 3; i + 1 <= NF; i += 2) {
+		val = $i; unit = $(i + 1)
+		if (unit == "ns/op")        key = "ns_per_op"
+		else if (unit == "paths/sec") key = "states_per_sec"
+		else if (unit == "executions") key = "executions_per_run"
+		else if (unit == "hitrate")  key = "dedup_hit_rate"
+		else continue
+		line = line ", \"" key "\": " val
+		if (name ~ /^EngineDedupSweep/) {
+			if (name ~ /dedup=false/ && unit == "executions") plain = val
+			if (name ~ /dedup=true/ && unit == "executions") dedup = val
+		}
+	}
+	rows[++n] = line "}"
+}
+END {
+	print "{"
+	print "  \"suite\": \"explore engine\","
+	print "  \"package\": \"" pkg "\","
+	print "  \"goos\": \"" goos "\", \"goarch\": \"" goarch "\","
+	print "  \"cpu\": \"" cpu "\","
+	print "  \"benchtime\": \"" benchtime "\","
+	print "  \"benchmarks\": ["
+	for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "")
+	print "  ]" (plain && dedup ? "," : "")
+	if (plain && dedup) {
+		printf "  \"dedup_reduction\": {\"plain_executions\": %d, \"dedup_executions\": %d, \"executions_saved_fraction\": %.4f}\n", \
+			plain, dedup, (plain - dedup) / plain
+	}
+	print "}"
+}
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

@@ -1,10 +1,17 @@
 #!/bin/sh
-# CI gate: vet, build, full test suite, and a race-detector pass over the
-# concurrency-bearing packages (the parallel exploration engine and the
-# step-granting simulator).
+# CI gate: formatting, vet, build, full test suite, and a race-detector
+# pass over every package.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files are not gofmt-formatted:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -15,7 +22,7 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (engine + simulator) =="
-go test -race ./internal/explore/... ./internal/sim/...
+echo "== go test -race (all packages) =="
+go test -race ./...
 
 echo "OK"
