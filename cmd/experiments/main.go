@@ -17,16 +17,19 @@ import (
 	"os"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/run"
 )
 
 func main() {
 	var (
-		runID   = flag.String("run", "", "run only the experiment with this id (e.g. E3)")
-		quick   = flag.Bool("quick", false, "smaller sweeps and sample counts")
-		seed    = flag.Int64("seed", 1, "seed for randomized components")
-		workers = flag.Int("workers", 0, "exploration parallelism (0 = GOMAXPROCS); tables are identical for any value")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		runID    = flag.String("run", "", "run only the experiment with this id (e.g. E3)")
+		quick    = flag.Bool("quick", false, "smaller sweeps and sample counts")
+		seed     = flag.Int64("seed", 1, "seed for randomized components")
+		workers  = flag.Int("workers", 0, "exploration parallelism (0 = GOMAXPROCS); tables are identical for any value")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /pprof/) on this address while experiments run, e.g. :6060")
+		events   = flag.String("events", "", "write the structured event log (JSONL) to this file, or '-' for stderr")
 	)
 	flag.Parse()
 
@@ -37,7 +40,37 @@ func main() {
 		return
 	}
 
-	opts := harness.NewOptions(run.WithQuick(*quick), run.WithSeed(*seed), run.WithWorkers(*workers))
+	// One registry and one event log see every exploration the harness
+	// drives, so a long `experiments` sweep is observable the same way a
+	// `modelcheck -http` run is.
+	reg := obs.NewRegistry()
+	var evLog *obs.Log
+	if *events != "" {
+		w := os.Stderr
+		if *events != "-" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		evLog = obs.NewLog(w, obs.Info)
+		defer evLog.Flush() //nolint:errcheck // best-effort on exit
+	}
+	if *httpAddr != "" {
+		addr, shutdown, err := obs.Serve(*httpAddr, obs.Handler(reg, nil))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: introspection on http://%s (/metrics /pprof/)\n", addr)
+		defer shutdown() //nolint:errcheck // exiting anyway
+	}
+
+	opts := harness.NewOptions(run.WithQuick(*quick), run.WithSeed(*seed),
+		run.WithWorkers(*workers), run.WithMetrics(reg), run.WithEvents(evLog))
 	if *runID != "" {
 		e, ok := harness.ByID(*runID)
 		if !ok {
@@ -45,7 +78,8 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("=== %s: %s ===\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
-		if err := e.Run(os.Stdout, opts); err != nil {
+		if err := harness.RunOne(os.Stdout, e, opts); err != nil {
+			evLog.Flush() //nolint:errcheck // best-effort before exit
 			fmt.Fprintf(os.Stderr, "experiments: %s FAILED: %v\n", e.ID, err)
 			os.Exit(1)
 		}
@@ -54,6 +88,7 @@ func main() {
 	}
 
 	if err := harness.RunAll(os.Stdout, opts); err != nil {
+		evLog.Flush() //nolint:errcheck // best-effort before exit
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}

@@ -17,6 +17,15 @@
 //
 //	modelcheck -proto figure3 -f 2 -n 3 -checkpoint run/ -deadline 10s
 //	modelcheck -resume run/                              # pick up where it died
+//
+// Observability (docs/MODEL.md, "Observability"): -http serves the live
+// metric snapshot, the latest progress report, and pprof while the
+// exploration runs; -events streams the structured run event log as JSONL;
+// -report writes the machine-readable final run report that
+// scripts/bench.sh consumes.
+//
+//	modelcheck -proto figure3 -f 2 -n 3 -http :6060 -progress 2s
+//	modelcheck -proto figure3 -f 1 -n 2 -report out.json -events run.jsonl
 package main
 
 import (
@@ -26,14 +35,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/run"
 	"repro/internal/store"
 )
@@ -57,6 +69,10 @@ func main() {
 		resume    = flag.String("resume", "", "resume the exploration recorded in this run directory")
 		jsonOut   = flag.Bool("json", false, "emit the counterexample trace as JSON")
 		diagram   = flag.Bool("diagram", false, "render the counterexample as a space-time diagram")
+		httpAddr  = flag.String("http", "", "serve live introspection (/metrics, /progress, /pprof/) on this address while exploring, e.g. :6060")
+		reportOut = flag.String("report", "", "write the machine-readable final run report (JSON) to this file")
+		eventsOut = flag.String("events", "", "write the structured run event log (JSONL) to this file, or '-' for stderr")
+		eventsMin = flag.String("events-level", "info", "minimum event level: debug | info | warn | error")
 	)
 	flag.Parse()
 
@@ -166,16 +182,7 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		m.Extra = map[string]string{
-			"proto":     strings.ToLower(*protoName),
-			"f":         strconv.Itoa(*f),
-			"t":         strconv.Itoa(*t),
-			"n":         strconv.Itoa(*n),
-			"fault":     strings.ToLower(*kindName),
-			"unbounded": strconv.FormatBool(*unbounded),
-			"faulty":    strconv.Itoa(*faulty),
-			"dedup":     strconv.FormatBool(*dedup),
-		}
+		m.Extra = settingsMeta(*protoName, *kindName, *f, *t, *n, *faulty, *unbounded, *dedup)
 		if st, err = store.Create(*checkpt, m); err != nil {
 			fail("%v", err)
 		}
@@ -187,53 +194,80 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
+	// The registry backs the engine's counters whether or not anything
+	// reads it: Outcome, -http, and -report are all views of one counter set.
+	reg := obs.NewRegistry()
+	var events *obs.Log
+	if *eventsOut != "" {
+		lvl, err := obs.ParseLevel(*eventsMin)
+		if err != nil {
+			fail("%v", err)
+		}
+		w := io.Writer(os.Stderr)
+		if *eventsOut != "-" {
+			f, err := os.Create(*eventsOut)
+			if err != nil {
+				fail("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		events = obs.NewLog(w, lvl)
+	}
 	eng := &explore.Engine{
 		Workers:         *workers,
 		Dedup:           *dedup,
 		Store:           st,
 		CheckpointEvery: *ckptEvery,
+		Metrics:         reg,
+		Events:          events,
 	}
 	// Progress goes to stderr through one buffered writer so report lines
 	// never interleave with the verdict on stdout; the final report is
-	// flushed before any result is printed.
-	progressOut := bufio.NewWriter(os.Stderr)
-	progressLine := func(p explore.Progress) {
-		fmt.Fprintf(progressOut, "progress: %d executions, %.0f paths/sec, frontier %d, %s elapsed",
-			p.Executions, p.Rate, p.Frontier, p.Elapsed.Round(time.Millisecond))
-		if p.Dedup.Lookups > 0 {
-			fmt.Fprintf(progressOut, ", dedup %d states %.1f%% hits",
-				p.Dedup.States, 100*p.Dedup.HitRate())
-		}
-		fmt.Fprintln(progressOut)
-	}
+	// flushed before any result is printed. The reporter also retains the
+	// latest report for the -http /progress endpoint, so the engine's
+	// periodic callback runs whenever either consumer exists.
+	rep := newProgressReporter(os.Stderr)
 	if *progress > 0 {
 		eng.ProgressEvery = *progress
-		eng.Progress = func(p explore.Progress) {
-			progressLine(p)
-			progressOut.Flush()
+	}
+	if *progress > 0 || *httpAddr != "" {
+		eng.Progress = func(p explore.Progress) { rep.tick(p, *progress > 0) }
+	}
+	if *httpAddr != "" {
+		addr, shutdown, err := obs.Serve(*httpAddr, obs.Handler(reg, rep.latest))
+		if err != nil {
+			fail("%v", err)
 		}
+		fmt.Fprintf(os.Stderr, "modelcheck: introspection on http://%s (/metrics /progress /pprof/)\n", addr)
+		defer shutdown() //nolint:errcheck // exiting anyway
 	}
 	out, err := eng.Check(ctx, cfg)
 	deadlineHit := errors.Is(err, context.DeadlineExceeded)
 	if err != nil && !deadlineHit {
-		progressOut.Flush()
+		rep.flush()
 		fail("%v", err)
 	}
 	if *progress > 0 {
 		// Final progress line: the periodic reporter stops between ticks,
 		// so without this the last report understates the finished run.
-		p := explore.Progress{
-			Executions: int64(out.Executions),
-			Elapsed:    out.Elapsed,
-			Rate:       float64(out.Executions) / out.Elapsed.Seconds(),
-		}
-		if out.Dedup != nil {
-			p.Dedup = *out.Dedup
-		}
-		progressLine(p)
+		rep.final(out)
 	}
 	// Everything reported so far belongs before the verdict.
-	progressOut.Flush()
+	rep.flush()
+	// The event log and report are written before the human-readable
+	// verdict so they exist even when a violation exits non-zero below.
+	if err := events.Flush(); err != nil {
+		fail("event log: %v", err)
+	}
+	if *reportOut != "" {
+		meta := settingsMeta(*protoName, *kindName, *f, *t, *n, *faulty, *unbounded, *dedup)
+		meta["workers"] = strconv.Itoa(out.Workers)
+		meta["max"] = strconv.Itoa(*maxExecs)
+		if err := obs.WriteReport(*reportOut, buildReport(out, reg, events, meta)); err != nil {
+			fail("%v", err)
+		}
+	}
 
 	fmt.Printf("protocol    : %s\n", proto.Name())
 	fmt.Printf("processes   : %d, faulty objects: %v, faults/object: %s\n",
@@ -293,6 +327,122 @@ func main() {
 		fmt.Print(out.Violation.String())
 	}
 	os.Exit(1)
+}
+
+// progressReporter owns the stderr throughput line. The periodic engine
+// callback and the final post-run flush render through the same formatter,
+// and the latest report is retained for the -http /progress endpoint.
+type progressReporter struct {
+	w    *bufio.Writer
+	last atomic.Pointer[explore.Progress]
+}
+
+func newProgressReporter(w io.Writer) *progressReporter {
+	return &progressReporter{w: bufio.NewWriter(w)}
+}
+
+// tick records the engine's periodic report and, when print is set,
+// renders it.
+func (r *progressReporter) tick(p explore.Progress, print bool) {
+	r.last.Store(&p)
+	if print {
+		r.line(p)
+		r.flush()
+	}
+}
+
+// latest returns the most recent progress report (nil before the first),
+// shaped for the /progress endpoint.
+func (r *progressReporter) latest() any {
+	if p := r.last.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// final renders the finished run as one last progress line, so the output
+// never understates a run that ended between periodic ticks.
+func (r *progressReporter) final(out *explore.Outcome) {
+	p := explore.Progress{
+		Executions: int64(out.Executions),
+		Elapsed:    out.Elapsed,
+		Donations:  out.Donations,
+		Steals:     out.Steals,
+	}
+	if secs := out.Elapsed.Seconds(); secs > 0 {
+		p.Rate = float64(out.Executions) / secs
+	}
+	if out.Dedup != nil {
+		p.Dedup = *out.Dedup
+	}
+	r.line(p)
+	r.flush()
+}
+
+func (r *progressReporter) line(p explore.Progress) {
+	fmt.Fprintf(r.w, "progress: %d executions, %.0f paths/sec, frontier %d, %d donated/%d stolen, %s elapsed",
+		p.Executions, p.Rate, p.Frontier, p.Donations, p.Steals, p.Elapsed.Round(time.Millisecond))
+	if p.Dedup.Lookups > 0 {
+		fmt.Fprintf(r.w, ", dedup %d states %.1f%% hits",
+			p.Dedup.States, 100*p.Dedup.HitRate())
+	}
+	fmt.Fprintln(r.w)
+}
+
+func (r *progressReporter) flush() { r.w.Flush() } //nolint:errcheck // stderr
+
+// settingsMeta renders the run settings as the flat string map shared by
+// the checkpoint manifest (Extra) and the -report Run section.
+func settingsMeta(protoName, kindName string, f, t, n, faulty int, unbounded, dedup bool) map[string]string {
+	return map[string]string{
+		"proto":     strings.ToLower(protoName),
+		"f":         strconv.Itoa(f),
+		"t":         strconv.Itoa(t),
+		"n":         strconv.Itoa(n),
+		"fault":     strings.ToLower(kindName),
+		"unbounded": strconv.FormatBool(unbounded),
+		"faulty":    strconv.Itoa(faulty),
+		"dedup":     strconv.FormatBool(dedup),
+	}
+}
+
+// buildReport renders the finished run as the machine-readable report
+// documented in docs/MODEL.md: verdict, counterexample, the full metric
+// snapshot, and the event-log type counts.
+func buildReport(out *explore.Outcome, reg *obs.Registry, events *obs.Log, meta map[string]string) *obs.Report {
+	snap := reg.Snapshot()
+	rep := &obs.Report{
+		Schema:  obs.ReportSchema,
+		Run:     meta,
+		Metrics: snap,
+		Events:  events.Counts(),
+		Verdict: obs.Verdict{
+			Complete:     out.Complete,
+			Executions:   int64(out.Executions),
+			Violations:   snap.Counters["explore.violations"],
+			Workers:      out.Workers,
+			MaxProcSteps: out.MaxProcSteps,
+			MaxFaults:    out.MaxFaults,
+			ElapsedNS:    out.Elapsed.Nanoseconds(),
+		},
+	}
+	switch {
+	case out.Violation != nil:
+		rep.Verdict.Result = "violation"
+		rep.Verdict.Violation = string(out.Violation.Verdict.Violation)
+		rep.Verdict.FirstViolationNS = out.ViolationLatency.Nanoseconds()
+		rep.Counterexample = map[string]any{
+			"path":      out.Violation.Path,
+			"schedule":  out.Violation.Schedule,
+			"inputs":    out.Violation.Inputs,
+			"violation": string(out.Violation.Verdict.Violation),
+		}
+	case out.Complete:
+		rep.Verdict.Result = "verified"
+	default:
+		rep.Verdict.Result = "incomplete"
+	}
+	return rep
 }
 
 func fail(format string, args ...any) {

@@ -20,6 +20,8 @@ package dedup
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Fingerprint is a 128-bit hash of a canonical execution state. Two
@@ -173,6 +175,20 @@ func (s *Set) Stats() Stats {
 		Hits:     s.hits.Load(),
 		Improved: s.improved.Load(),
 	}
+}
+
+// Register exposes the set's counters on the registry as live derived
+// gauges (dedup.states, dedup.lookups, dedup.hits, dedup.improved), so a
+// metrics snapshot taken mid-run reads the cache's effectiveness without
+// extra bookkeeping on the Visit hot path.
+func (s *Set) Register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Func("dedup.states", s.size.Load)
+	reg.Func("dedup.lookups", s.lookups.Load)
+	reg.Func("dedup.hits", s.hits.Load)
+	reg.Func("dedup.improved", s.improved.Load)
 }
 
 // Entry is one persisted state: its fingerprint and representative path.

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dedup"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -70,6 +71,16 @@ type Engine struct {
 	Progress func(Progress)
 	// ProgressEvery is the reporting period (default 2s).
 	ProgressEvery time.Duration
+	// Metrics, when non-nil, is the registry the run's counters, gauges,
+	// and histograms live on (see docs/MODEL.md for the metric names). The
+	// engine is always registry-backed — when Metrics is nil it uses a
+	// private registry — so Outcome and Progress are snapshot views of the
+	// same counters a live /metrics endpoint reads.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives the run's structured event log:
+	// lifecycle, checkpoint writes/restores, violations at Info; frontier
+	// donations and dedup prunes at Debug.
+	Events *obs.Log
 }
 
 // Progress is one throughput report of a running exploration.
@@ -85,9 +96,61 @@ type Progress struct {
 	// Elapsed is the wall-clock time since the exploration started
 	// (including time accumulated before a resume).
 	Elapsed time.Duration
+	// Donations is the number of subtree tasks workers have carved off
+	// and pushed to the frontier for others to claim.
+	Donations int64
+	// Steals is the number of tasks claimed from the shared frontier.
+	Steals int64
 	// Dedup holds the state-cache counters (zero value when the engine
 	// runs without deduplication).
 	Dedup dedup.Stats
+}
+
+// runMetrics is the registry-backed counter set of one engine run. The
+// execution counter doubles as the cap reservation (claim/release via
+// CompareAndSwap and negative Add), so the metric the registry exposes and
+// the number the engine enforces its cap against are one and the same.
+type runMetrics struct {
+	execs      *obs.Counter // completed replays (claims minus dedup releases)
+	restored   *obs.Counter // executions primed from a resumed checkpoint
+	violations *obs.Counter
+	prunes     *obs.Counter // replays halted at an already-covered state
+	donations  *obs.Counter // subtree tasks pushed to the frontier
+	steals     *obs.Counter // tasks claimed from the frontier
+	ckptSaves  *obs.Counter
+	ckptMS     *obs.Histogram // full saveCheckpoint duration (snapshot+write)
+	depth      *obs.Histogram // root depth of tasks entering the frontier
+
+	workerExecs  []*obs.Counter
+	workerSteals []*obs.Counter
+	workerIdleNS []*obs.Counter // time blocked waiting for frontier work
+}
+
+// newRunMetrics registers the engine's metric set on the registry. Names
+// are stable — docs/MODEL.md documents them as the observability schema.
+func newRunMetrics(reg *obs.Registry, workers int) *runMetrics {
+	m := &runMetrics{
+		execs:      reg.Counter("explore.executions"),
+		restored:   reg.Counter("explore.executions.restored"),
+		violations: reg.Counter("explore.violations"),
+		prunes:     reg.Counter("explore.dedup.prunes"),
+		donations:  reg.Counter("explore.frontier.donations"),
+		steals:     reg.Counter("explore.frontier.steals"),
+		ckptSaves:  reg.Counter("explore.checkpoint.saves"),
+		ckptMS: reg.Histogram("explore.checkpoint.save_ms",
+			0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000),
+		depth: reg.Histogram("explore.frontier.depth",
+			1, 2, 4, 8, 12, 16, 24, 32, 48, 64),
+		workerExecs:  make([]*obs.Counter, workers),
+		workerSteals: make([]*obs.Counter, workers),
+		workerIdleNS: make([]*obs.Counter, workers),
+	}
+	for w := 0; w < workers; w++ {
+		m.workerExecs[w] = reg.Counter(fmt.Sprintf("explore.worker.%d.executions", w))
+		m.workerSteals[w] = reg.Counter(fmt.Sprintf("explore.worker.%d.steals", w))
+		m.workerIdleNS[w] = reg.Counter(fmt.Sprintf("explore.worker.%d.idle_ns", w))
+	}
+	return m
 }
 
 // engineRun is the shared state of one Engine.Check invocation.
@@ -103,9 +166,15 @@ type engineRun struct {
 	start       time.Time
 	elapsed0    time.Duration // wall clock accumulated before a resume
 
-	execs      atomic.Int64
-	violations atomic.Int64
-	capped     atomic.Bool
+	m  *runMetrics
+	ev *obs.Log // nil-safe
+	// base holds each shared counter's value at run start. A registry may
+	// outlive one run (the harness points every exploration of a sweep at
+	// the same one), so the registry reads cumulatively while the cap,
+	// Outcome, Progress, and checkpoints subtract the base to stay
+	// run-scoped.
+	base   struct{ execs, violations, donations, steals int64 }
+	capped atomic.Bool
 	// bound is the lex-least violating path found so far (pruning bound);
 	// nil until a violation is seen or in Exhaustive mode.
 	bound atomic.Pointer[[]int]
@@ -142,6 +211,10 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	reg := e.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	r := &engineRun{
 		cfg:         cfg,
 		kind:        kind,
@@ -151,19 +224,40 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 		st:          e.Store,
 		start:       time.Now(),
 		cancel:      cancel,
+		m:           newRunMetrics(reg, workers),
+		ev:          e.Events,
 	}
+	r.base.execs = r.m.execs.Load()
+	r.base.violations = r.m.violations.Load()
+	r.base.donations = r.m.donations.Load()
+	r.base.steals = r.m.steals.Load()
+	reg.Gauge("explore.workers").Set(int64(workers))
 	if e.Dedup {
 		r.set = dedup.NewSet(0)
+		r.set.Register(reg)
+	}
+	if r.st != nil {
+		r.st.Instrument(reg, r.ev)
 	}
 	tasks := []task{{}} // root: the empty prefix
+	resumed := false
 	if r.st != nil {
 		if cp := r.st.Checkpoint(); cp != nil {
 			if tasks, err = r.prime(cp); err != nil {
 				return nil, err
 			}
+			resumed = true
 		}
 	}
 	r.fr = newFrontier(tasks, workers)
+	reg.Func("explore.frontier.pending", func() int64 { return int64(r.fr.pending()) })
+	for _, t := range tasks {
+		r.m.depth.Observe(float64(len(t.path)))
+	}
+	r.ev.Emit(obs.Info, "run.start", map[string]any{
+		"workers": workers, "cap": cap, "dedup": e.Dedup,
+		"checkpoint": r.st != nil, "resumed": resumed, "tasks": len(tasks),
+	})
 	// pop blocks on a condition variable, not on ctx: translate
 	// cancellation into a frontier abort so waiting workers wake up.
 	go func() {
@@ -202,22 +296,33 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 		}
 	}
 	out := &Outcome{
-		Executions:       int(r.execs.Load()),
+		Executions:       int(r.m.execs.Load() - r.base.execs),
 		Violation:        best,
 		MaxProcSteps:     maxSteps,
 		MaxFaults:        maxFaults,
 		Workers:          workers,
 		Elapsed:          r.elapsed0 + time.Since(r.start),
 		ViolationLatency: firstAt,
+		Donations:        r.m.donations.Load() - r.base.donations,
+		Steals:           r.m.steals.Load() - r.base.steals,
 	}
 	if r.set != nil {
 		st := r.set.Stats()
 		out.Dedup = &st
 	}
 	if err := ctx.Err(); err != nil {
+		r.ev.Emit(obs.Warn, "run.done", map[string]any{
+			"executions": out.Executions, "complete": false,
+			"cancelled": true, "elapsed_ms": out.Elapsed.Milliseconds(),
+		})
 		return out, err
 	}
 	out.Complete = !r.capped.Load() && (best == nil || e.Exhaustive)
+	r.ev.Emit(obs.Info, "run.done", map[string]any{
+		"executions": out.Executions, "complete": out.Complete,
+		"violations": r.m.violations.Load() - r.base.violations,
+		"elapsed_ms": out.Elapsed.Milliseconds(),
+	})
 	return out, nil
 }
 
@@ -225,8 +330,13 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 // counterexample (reconstructed by replaying its path), the dedup set, and
 // the task list that covers all unfinished work.
 func (r *engineRun) prime(cp *store.Checkpoint) ([]task, error) {
-	r.execs.Store(cp.Executions)
-	r.violations.Store(cp.Violations)
+	// The counters come from a fresh registry entry (or a run-scoped one),
+	// so priming by Add keeps them exact; restored records how many of the
+	// executions predate this process, which is what lets per-worker
+	// counters still sum to the total after a resume.
+	r.m.execs.Add(cp.Executions)
+	r.m.restored.Add(cp.Executions)
+	r.m.violations.Add(cp.Violations)
 	r.maxSteps = cp.MaxProcSteps
 	r.maxFaults = cp.MaxFaults
 	r.firstAt = time.Duration(cp.FirstViolationNS)
@@ -252,6 +362,10 @@ func (r *engineRun) prime(cp *store.Checkpoint) ([]task, error) {
 	for i, t := range cp.Tasks {
 		tasks[i] = task{path: append([]int(nil), t.Path...), floor: t.Floor}
 	}
+	r.ev.Emit(obs.Info, "checkpoint.restore", map[string]any{
+		"seq": cp.Seq, "executions": cp.Executions, "tasks": len(tasks),
+		"dedup_entries": len(cp.Dedup), "best_path_len": len(cp.BestPath),
+	})
 	return tasks, nil
 }
 
@@ -291,10 +405,14 @@ func (r *engineRun) worker(ctx context.Context, w int) {
 		}
 	}
 	for {
+		idleStart := time.Now()
 		t, ok := r.fr.pop(w)
+		r.m.workerIdleNS[w].Add(time.Since(idleStart).Nanoseconds())
 		if !ok {
 			return
 		}
+		r.m.steals.Inc()
+		r.m.workerSteals[w].Inc()
 		if !r.runSubtree(ctx, w, t, dh) {
 			r.fr.done(w, false)
 			return
@@ -332,7 +450,7 @@ func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHand
 			// only contain larger counterexamples.
 			return true
 		}
-		if !r.claim() {
+		if !r.claim(w) {
 			return false
 		}
 		r.fr.publish(w, c.path, c.lb)
@@ -349,7 +467,12 @@ func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHand
 			// The replay reached a state some lex-smaller path already
 			// covers: the subtree below the pruned prefix is redundant.
 			// The claim is released — Executions counts completed replays.
-			r.execs.Add(-1)
+			r.m.execs.Add(-1)
+			r.m.workerExecs[w].Add(-1)
+			r.m.prunes.Inc()
+			r.ev.Emit(obs.Debug, "dedup.prune", map[string]any{
+				"worker": w, "pos": dh.prunedAt,
+			})
 			if dh.prunedAt <= c.lb {
 				return true // the whole task is covered elsewhere
 			}
@@ -367,7 +490,7 @@ func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHand
 			localFaults = stats.faults
 		}
 		if !verdict.OK() {
-			r.recordViolation(ce, c.path)
+			r.recordViolation(w, ce, c.path)
 		}
 		if r.fr.starving(r.lowWater) {
 			if alts := c.donate(); alts != nil {
@@ -378,7 +501,12 @@ func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHand
 				ts := make([]task, len(alts))
 				for i, p := range alts {
 					ts[i] = task{path: p, floor: len(p)}
+					r.m.depth.Observe(float64(len(p)))
 				}
+				r.m.donations.Add(int64(len(ts)))
+				r.ev.Emit(obs.Debug, "frontier.donate", map[string]any{
+					"worker": w, "tasks": len(ts), "depth": len(alts[0]),
+				})
 				r.fr.push(ts)
 			}
 		}
@@ -388,15 +516,19 @@ func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHand
 	}
 }
 
-// claim reserves one execution against the cap.
-func (r *engineRun) claim() bool {
+// claim reserves one execution against the cap, attributing it to worker
+// w. Per-worker counters mirror every claim and release exactly, so at any
+// instant the worker counters plus the restored count sum to the total —
+// the invariant the report schema validates.
+func (r *engineRun) claim(w int) bool {
 	for {
-		cur := r.execs.Load()
-		if cur >= int64(r.cap) {
+		cur := r.m.execs.Load()
+		if cur-r.base.execs >= int64(r.cap) {
 			r.capped.Store(true)
 			return false
 		}
-		if r.execs.CompareAndSwap(cur, cur+1) {
+		if r.m.execs.CompareAndSwap(cur, cur+1) {
+			r.m.workerExecs[w].Inc()
 			return true
 		}
 	}
@@ -426,22 +558,27 @@ func lexGE(path, leaf []int) bool {
 
 // recordViolation merges one violating execution into the shared outcome,
 // keeping the canonical counterexample and tightening the pruning bound.
-func (r *engineRun) recordViolation(ce *Counterexample, path []int) {
+func (r *engineRun) recordViolation(w int, ce *Counterexample, path []int) {
 	p := append([]int(nil), path...)
 	ce.Path = p
-	r.violations.Add(1)
+	r.m.violations.Inc()
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.firstAt == 0 {
 		r.firstAt = r.elapsed0 + time.Since(r.start)
 	}
-	if r.better(ce) {
+	improved := r.better(ce)
+	if improved {
 		r.best = ce
 		if r.stopOnFirst {
 			r.bound.Store(&p)
 		}
 	}
+	r.mu.Unlock()
+	r.ev.Emit(obs.Info, "violation.found", map[string]any{
+		"worker": w, "path_len": len(p), "schedule_len": len(ce.Schedule),
+		"violation": ce.Verdict.Violation, "improved": improved,
+	})
 }
 
 // better decides whether the candidate replaces the current best violation:
@@ -484,11 +621,12 @@ func (r *engineRun) fail(err error) {
 // reaches the same verdict. final marks the run finished when no task
 // survives (a cancelled or capped run keeps its tasks and stays resumable).
 func (r *engineRun) saveCheckpoint(final bool) error {
+	start := time.Now()
 	tasks := r.fr.snapshot()
 	cp := &store.Checkpoint{
 		Done:       final && len(tasks) == 0,
-		Executions: r.execs.Load(),
-		Violations: r.violations.Load(),
+		Executions: r.m.execs.Load() - r.base.execs,
+		Violations: r.m.violations.Load() - r.base.violations,
 		Capped:     r.capped.Load(),
 		ElapsedNS:  (r.elapsed0 + time.Since(r.start)).Nanoseconds(),
 		Tasks:      make([]store.Task, len(tasks)),
@@ -508,7 +646,12 @@ func (r *engineRun) saveCheckpoint(final bool) error {
 	if r.set != nil {
 		cp.Dedup = r.set.Snapshot()
 	}
-	return r.st.Save(cp)
+	if err := r.st.Save(cp); err != nil {
+		return err
+	}
+	r.m.ckptSaves.Inc()
+	r.m.ckptMS.Observe(float64(time.Since(start).Microseconds()) / 1000)
+	return nil
 }
 
 // startCheckpoint launches the periodic checkpoint writer and returns its
@@ -569,15 +712,17 @@ func (e *Engine) startProgress(r *engineRun) func() {
 			case <-done:
 				return
 			case now := <-tick.C:
-				execs := r.execs.Load()
+				execs := r.m.execs.Load() - r.base.execs
 				rate := float64(execs-lastExecs) / now.Sub(lastTime).Seconds()
 				lastExecs, lastTime = execs, now
 				p := Progress{
 					Executions: execs,
 					Rate:       rate,
 					Frontier:   r.fr.pending(),
-					Violations: r.violations.Load(),
+					Violations: r.m.violations.Load() - r.base.violations,
 					Elapsed:    r.elapsed0 + time.Since(r.start),
+					Donations:  r.m.donations.Load() - r.base.donations,
+					Steals:     r.m.steals.Load() - r.base.steals,
 				}
 				if r.set != nil {
 					p.Dedup = r.set.Stats()

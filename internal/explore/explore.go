@@ -108,6 +108,12 @@ type Outcome struct {
 	// ViolationLatency is the wall-clock time until the first violating
 	// execution was replayed (engine runs only; zero if none was found).
 	ViolationLatency time.Duration
+	// Donations is the number of subtree tasks workers carved off and
+	// pushed to the frontier for others to claim (engine runs only).
+	Donations int64
+	// Steals is the number of tasks claimed from the shared frontier
+	// (engine runs only).
+	Steals int64
 	// Dedup holds the state-cache counters of a deduplicated engine run
 	// (nil when deduplication was off).
 	Dedup *dedup.Stats
@@ -258,7 +264,13 @@ func ConfigFrom(s *run.Settings) Config {
 // turns on state deduplication.
 func CheckWith(ctx context.Context, opts ...run.Option) (*Outcome, error) {
 	s := run.NewSettings(opts...)
-	eng := &Engine{Workers: s.Workers, Dedup: s.Dedup, CheckpointEvery: s.CheckpointEvery}
+	eng := &Engine{
+		Workers:         s.Workers,
+		Dedup:           s.Dedup,
+		CheckpointEvery: s.CheckpointEvery,
+		Metrics:         s.Metrics,
+		Events:          s.Events,
+	}
 	cfg := ConfigFrom(s)
 	switch {
 	case s.Resume != "":

@@ -48,7 +48,7 @@ func runE10(w io.Writer, opts Options) error {
 				run.WithInputs(inputs(c.f+1)...),
 				run.WithFaultyObjects(objectIDs(c.f), c.t),
 				run.WithMaxExecutions(exhaustiveCap),
-				run.WithWorkers(opts.Workers),
+				opts.engine(),
 			)
 			if err != nil {
 				return err

@@ -9,7 +9,9 @@ package harness
 import (
 	"fmt"
 	"io"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/run"
 )
 
@@ -27,13 +29,33 @@ type Options struct {
 	// (0 means GOMAXPROCS). Tables stay identical across worker counts:
 	// the engine's results are deterministic.
 	Workers int
+	// Metrics, when non-nil, receives the counters of every exploration
+	// an experiment drives, plus the harness's own per-experiment
+	// accounting (harness.experiments.*).
+	Metrics *obs.Registry
+	// Events, when non-nil, receives experiment lifecycle events and the
+	// engine event streams of the underlying explorations.
+	Events *obs.Log
 }
 
 // NewOptions derives experiment options from the unified run.With... options
-// (run.WithQuick, run.WithSeed, run.WithWorkers).
+// (run.WithQuick, run.WithSeed, run.WithWorkers, run.WithMetrics,
+// run.WithEvents).
 func NewOptions(opts ...run.Option) Options {
 	s := run.NewSettings(opts...)
-	return Options{Quick: s.Quick, Seed: s.Seed, Workers: s.Workers}
+	return Options{Quick: s.Quick, Seed: s.Seed, Workers: s.Workers,
+		Metrics: s.Metrics, Events: s.Events}
+}
+
+// engine bundles the options every engine-driven exploration inside an
+// experiment shares: the parallelism plus the observability sinks, so one
+// registry and one event log see every exploration the harness runs.
+func (o Options) engine() run.Option {
+	return func(s *run.Settings) {
+		s.Workers = o.Workers
+		s.Metrics = o.Metrics
+		s.Events = o.Events
+	}
 }
 
 // Experiment is one reproduction experiment.
@@ -125,6 +147,37 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// RunOne executes a single experiment with observability: an
+// experiment.start/.done event pair, a pass/fail counter, and a duration
+// histogram on the options' registry (all no-ops when observability is
+// off). Both cmd/experiments and RunAll go through it, so per-experiment
+// accounting is identical for single and full runs.
+func RunOne(w io.Writer, e Experiment, opts Options) error {
+	opts.Events.Emit(obs.Info, "experiment.start", map[string]any{
+		"id": e.ID, "title": e.Title, "quick": opts.Quick,
+	})
+	start := time.Now()
+	err := e.Run(w, opts)
+	elapsed := time.Since(start)
+	if opts.Metrics != nil {
+		opts.Metrics.Counter("harness.experiments.run").Inc()
+		if err != nil {
+			opts.Metrics.Counter("harness.experiments.failed").Inc()
+		}
+		opts.Metrics.Histogram("harness.experiment.duration_ms",
+			10, 50, 100, 500, 1000, 5000, 10000, 60000, 300000).
+			Observe(float64(elapsed.Microseconds()) / 1000)
+	}
+	fields := map[string]any{"id": e.ID, "elapsed_ms": elapsed.Milliseconds(), "ok": err == nil}
+	if err != nil {
+		fields["error"] = err.Error()
+		opts.Events.Emit(obs.Error, "experiment.done", fields)
+	} else {
+		opts.Events.Emit(obs.Info, "experiment.done", fields)
+	}
+	return err
+}
+
 // RunAll executes every experiment in order, writing headers between them.
 // It keeps going after a failure and returns a combined error.
 func RunAll(w io.Writer, opts Options) error {
@@ -132,7 +185,7 @@ func RunAll(w io.Writer, opts Options) error {
 	for _, e := range All() {
 		fmt.Fprintf(w, "\n=== %s: %s ===\n", e.ID, e.Title)
 		fmt.Fprintf(w, "claim: %s\n\n", e.Claim)
-		if err := e.Run(w, opts); err != nil {
+		if err := RunOne(w, e, opts); err != nil {
 			fmt.Fprintf(w, "FAILED: %v\n", err)
 			failed = append(failed, fmt.Sprintf("%s (%v)", e.ID, err))
 			continue

@@ -67,7 +67,7 @@ func runE7(w io.Writer, opts Options) error {
 		run.WithInputs(inputs(2)...),
 		run.WithFaultyObjects([]int{0}, 2),
 		run.WithFaultKind(fault.Silent),
-		run.WithWorkers(opts.Workers),
+		opts.engine(),
 	)
 	if err != nil {
 		return err
@@ -86,7 +86,7 @@ func runE7(w io.Writer, opts Options) error {
 		run.WithFaultyObjects([]int{0}, fault.Unbounded),
 		run.WithFaultKind(fault.Silent),
 		run.WithStepLimit(16),
-		run.WithWorkers(opts.Workers),
+		opts.engine(),
 	)
 	if err != nil {
 		return err
@@ -104,7 +104,7 @@ func runE7(w io.Writer, opts Options) error {
 		run.WithProtocol(proto),
 		run.WithInputs(inputs(2)...),
 		run.WithFaultyObjects([]int{0}, 1),
-		run.WithWorkers(opts.Workers),
+		opts.engine(),
 	)
 	if err != nil {
 		return err

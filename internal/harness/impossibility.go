@@ -59,7 +59,7 @@ func runE4(w io.Writer, opts Options) error {
 			run.WithAllObjectsFaulty(fault.Unbounded),
 			run.WithPolicy(r.policy),
 			run.WithMaxExecutions(cap),
-			run.WithWorkers(opts.Workers),
+			opts.engine(),
 		)
 		if err != nil {
 			return err
@@ -140,7 +140,7 @@ func runE5(w io.Writer, opts Options) error {
 				run.WithInputs(inputs(f+2)...),
 				run.WithFaultyObjects(objectIDs(proto.Objects()), 1),
 				run.WithMaxExecutions(100_000),
-				run.WithWorkers(opts.Workers),
+				opts.engine(),
 			)
 			if err != nil {
 				return err

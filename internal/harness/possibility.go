@@ -22,7 +22,7 @@ func runE1(w io.Writer, opts Options) error {
 		run.WithProtocol(core.SingleCAS{}),
 		run.WithInputs(inputs(2)...),
 		run.WithFaultyObjects([]int{0}, fault.Unbounded),
-		run.WithWorkers(opts.Workers),
+		opts.engine(),
 	)
 	if err != nil {
 		return err
@@ -162,7 +162,7 @@ func runE3(w io.Writer, opts Options) error {
 			run.WithInputs(inputs(n)...),
 			run.WithFaultyObjects(objectIDs(cfg.f), cfg.t),
 			run.WithMaxExecutions(exhaustiveCap),
-			run.WithWorkers(opts.Workers),
+			opts.engine(),
 		)
 		if err != nil {
 			return err

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLogEmitJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLog(&buf, Info)
+	l.Emit(Info, "run.start", map[string]any{"workers": 4})
+	l.Emit(Debug, "dedup.prune", nil) // below level: dropped
+	l.Emit(Warn, "checkpoint.slow", map[string]any{"ms": 120.5})
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var last int64 = -1
+	for _, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		if e.T < last {
+			t.Errorf("timestamps not monotonic: %d after %d", e.T, last)
+		}
+		last = e.T
+	}
+	var first Event
+	json.Unmarshal([]byte(lines[0]), &first)
+	if first.Type != "run.start" || first.Level != "info" {
+		t.Errorf("first event = %+v", first)
+	}
+	if first.Fields["workers"] != float64(4) {
+		t.Errorf("fields = %v", first.Fields)
+	}
+
+	counts := l.Counts()
+	if counts["run.start"] != 1 || counts["checkpoint.slow"] != 1 || counts["dedup.prune"] != 0 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestLogNilSafe(t *testing.T) {
+	var l *Log
+	l.Emit(Error, "anything", nil) // must not panic
+	if l.Enabled(Error) {
+		t.Error("nil log reports Enabled")
+	}
+	if l.Counts() != nil {
+		t.Error("nil log has counts")
+	}
+	if l.Flush() != nil {
+		t.Error("nil log flush errored")
+	}
+}
+
+func TestLogConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLog(&buf, Debug)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				l.Emit(Debug, "tick", map[string]any{"worker": w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1000 {
+		t.Fatalf("got %d lines, want 1000", len(lines))
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("interleaved write produced invalid JSON: %q", line)
+		}
+	}
+	if l.Counts()["tick"] != 1000 {
+		t.Errorf("counts = %v", l.Counts())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, c := range []struct {
+		s  string
+		l  Level
+		ok bool
+	}{{"debug", Debug, true}, {"info", Info, true}, {"warn", Warn, true}, {"error", Error, true}, {"nope", 0, false}} {
+		l, err := ParseLevel(c.s)
+		if (err == nil) != c.ok || l != c.l {
+			t.Errorf("ParseLevel(%q) = %v, %v", c.s, l, err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Handler returns the live-introspection mux:
+//
+//	/metrics   JSON Snapshot of the registry (expvar-style: one GET, one
+//	           self-describing JSON document)
+//	/progress  JSON of whatever progress() returns (the engine's latest
+//	           Progress report); 204 when progress is nil or returns nil
+//	/pprof/    the standard net/http/pprof handlers (index, profile,
+//	           heap, goroutine, trace, ...), re-rooted under /pprof/
+//
+// The handler holds no locks across requests: /metrics snapshots the
+// registry, /progress calls progress() once.
+func Handler(reg *Registry, progress func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		var v any
+		if progress != nil {
+			v = progress()
+		}
+		if v == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, v)
+	})
+	// net/http/pprof expects to live under /debug/pprof/; rewrite the
+	// shorter /pprof/ prefix so the index's relative links keep working.
+	mux.HandleFunc("/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/pprof/", func(w http.ResponseWriter, r *http.Request) {
+		r.URL.Path = "/debug/pprof/" + strings.TrimPrefix(r.URL.Path, "/pprof/")
+		pprof.Index(w, r)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // a failed write is the client's problem
+}
+
+// Serve starts an HTTP server for h on addr (":0" picks a free port) and
+// returns the bound address and a shutdown function. The server runs until
+// shutdown is called; serving errors after shutdown are discarded.
+func Serve(addr string, h http.Handler) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln) //nolint:errcheck // Close below surfaces real errors as ErrServerClosed
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerMetricsAndProgress(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("explore.executions").Add(7)
+	reg.Histogram("explore.frontier.depth", 1, 2, 4).Observe(3)
+	srv := httptest.NewServer(Handler(reg, func() any {
+		return map[string]any{"executions": 7}
+	}))
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics is not a Snapshot: %v\n%s", err, body)
+	}
+	if snap.Counters["explore.executions"] != 7 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.Histograms["explore.frontier.depth"].Count != 1 {
+		t.Errorf("histogram missing: %+v", snap.Histograms)
+	}
+
+	code, body = get(t, srv.URL+"/progress")
+	if code != 200 || !strings.Contains(body, `"executions": 7`) {
+		t.Errorf("/progress: %d\n%s", code, body)
+	}
+}
+
+func TestHandlerProgressNil(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer srv.Close()
+	if code, _ := get(t, srv.URL+"/progress"); code != http.StatusNoContent {
+		t.Errorf("/progress without a source: %d, want 204", code)
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer srv.Close()
+	code, body := get(t, srv.URL+"/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/pprof/ index: %d\n%.200s", code, body)
+	}
+	code, body = get(t, srv.URL+"/pprof/goroutine?debug=1")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/pprof/goroutine: %d\n%.200s", code, body)
+	}
+}
+
+func TestServePicksPort(t *testing.T) {
+	addr, shutdown, err := Serve("127.0.0.1:0", Handler(NewRegistry(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	if code, _ := get(t, "http://"+addr+"/metrics"); code != 200 {
+		t.Errorf("/metrics on %s: %d", addr, code)
+	}
+}

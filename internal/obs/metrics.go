@@ -1,0 +1,317 @@
+// Package obs is the repository's dependency-free observability layer:
+// named atomic counters, gauges, and bounded histograms collected in a
+// Registry with a cheap JSON-ready Snapshot (metrics.go), a run-scoped
+// structured event log written as JSONL with levels and monotonic
+// timestamps (events.go), a live-introspection HTTP handler serving the
+// snapshot, the latest progress, and net/http/pprof (http.go), and a
+// machine-readable final run report (report.go).
+//
+// The package imports nothing outside the standard library and nothing
+// from the rest of the repository, so every internal package — the
+// exploration engine, the dedup cache, the run store, the experiment
+// harness — can thread it through without import cycles.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically *accounted* atomic counter: Add accepts
+// negative deltas so reservation patterns (claim an execution against a
+// cap, release it when the replay turns out to be pruned) stay exact.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (negative deltas release prior reservations).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// CompareAndSwap atomically replaces old with new. It exposes the
+// reservation idiom — load, check against a cap, claim — without a
+// second shadow counter next to the metric.
+func (c *Counter) CompareAndSwap(old, new int64) bool { return c.v.CompareAndSwap(old, new) }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a bounded histogram over float64 observations: a fixed,
+// ascending list of bucket upper bounds (inclusive, Prometheus "le"
+// convention) plus one overflow bucket for observations above the last
+// bound. Observations are lock-free; NaN observations are dropped (they
+// carry no position on the axis), +Inf lands in the overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	min    atomic.Uint64 // float64 bits
+	max    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram returns a histogram with the given ascending upper bounds.
+// It panics on empty or unsorted bounds — histogram shapes are static
+// configuration, not data.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram with no bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = overflow
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+	casFloat(&h.min, v, func(cur, v float64) bool { return v < cur })
+	casFloat(&h.max, v, func(cur, v float64) bool { return v > cur })
+}
+
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func casFloat(bits *atomic.Uint64, v float64, better func(cur, v float64) bool) {
+	for {
+		old := bits.Load()
+		if !better(math.Float64frombits(old), v) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Concurrent
+// observations may straddle the copy; each bucket is individually exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.min.Load())
+		s.Max = math.Float64frombits(h.max.Load())
+	}
+	return s
+}
+
+// HistogramSnapshot is the JSON-safe rendering of a histogram: bucket
+// upper bounds plus per-bucket counts, where Counts has one more entry
+// than Bounds — the overflow bucket (observations above the last bound).
+// Infinities never appear in the encoding, so the snapshot always
+// marshals.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// within the containing bucket, clamped to the observed [Min, Max]. An
+// empty histogram yields 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var seen int64
+	for i, n := range s.Counts {
+		if float64(seen+n) < rank {
+			seen += n
+			continue
+		}
+		lo := s.Min
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Max
+		if i < len(s.Bounds) && s.Bounds[i] < hi {
+			hi = s.Bounds[i]
+		}
+		if lo > hi {
+			lo = hi
+		}
+		if n == 0 {
+			return hi
+		}
+		frac := (rank - float64(seen)) / float64(n)
+		return lo + (hi-lo)*frac
+	}
+	return s.Max
+}
+
+// Registry is a named collection of metrics. Lookups are get-or-create
+// and idempotent: asking for the same name and kind returns the same
+// metric, so independent layers can share counters by name alone.
+// Registering one name as two different kinds panics — metric names are
+// static configuration.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		r.checkFree(name, "counter")
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		r.checkFree(name, "gauge")
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Func registers (or replaces) a derived gauge computed at snapshot time.
+// fn must be safe for concurrent use and must not call back into the
+// registry.
+func (r *Registry) Func(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.funcs[name]; !ok {
+		r.checkFree(name, "func")
+	}
+	r.funcs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use. Later calls for the same name ignore the bounds
+// and return the existing histogram.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		r.checkFree(name, "histogram")
+		h = NewHistogram(bounds...)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// checkFree panics if name is already taken by another metric kind.
+// Callers hold r.mu.
+func (r *Registry) checkFree(name, kind string) {
+	for taken, m := range map[string]bool{
+		"counter":   r.counters[name] != nil,
+		"gauge":     r.gauges[name] != nil,
+		"func":      r.funcs[name] != nil,
+		"histogram": r.hists[name] != nil,
+	} {
+		if m && taken != kind {
+			panic("obs: metric " + name + " already registered as a " + taken)
+		}
+	}
+}
+
+// Snapshot is a point-in-time copy of every registered metric, shaped for
+// JSON encoding. Derived (Func) gauges are folded into Gauges.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric. It is cheap — one lock acquisition and
+// atomic loads — so callers may snapshot on every progress tick.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)+len(r.funcs)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, fn := range r.funcs {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}

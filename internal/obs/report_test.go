@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func validReport() *Report {
+	return &Report{
+		Schema: ReportSchema,
+		Run:    map[string]string{"proto": "figure3"},
+		Verdict: Verdict{
+			Result:     "verified",
+			Complete:   true,
+			Executions: 10,
+			Workers:    2,
+		},
+		Metrics: Snapshot{
+			Counters: map[string]int64{
+				"explore.worker.0.executions": 6,
+				"explore.worker.1.executions": 4,
+			},
+		},
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	if err := validReport().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+
+	r := validReport()
+	r.Schema = "nope"
+	if r.Validate() == nil {
+		t.Error("bad schema accepted")
+	}
+
+	r = validReport()
+	r.Verdict.Result = "maybe"
+	if r.Validate() == nil {
+		t.Error("unknown result accepted")
+	}
+
+	r = validReport()
+	r.Metrics.Counters["explore.worker.1.executions"] = 5
+	if r.Validate() == nil {
+		t.Error("per-worker sum mismatch accepted")
+	}
+
+	// Restored executions from a resumed checkpoint count toward the total.
+	r = validReport()
+	r.Verdict.Executions = 15
+	r.Metrics.Counters["explore.executions.restored"] = 5
+	if err := r.Validate(); err != nil {
+		t.Errorf("restored executions not accounted: %v", err)
+	}
+
+	r = validReport()
+	r.Verdict.Result = "violation"
+	if r.Validate() == nil {
+		t.Error("violation verdict with zero violations accepted")
+	}
+}
+
+func TestWriteReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := WriteReport(path, validReport()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("round-tripped report invalid: %v", err)
+	}
+	if r.Verdict.Executions != 10 || r.Metrics.Counters["explore.worker.0.executions"] != 6 {
+		t.Errorf("round trip lost data: %+v", r)
+	}
+}
+
+func TestWriteReportRefusesInvalid(t *testing.T) {
+	r := validReport()
+	r.Schema = "bad"
+	path := filepath.Join(t.TempDir(), "report.json")
+	if WriteReport(path, r) == nil {
+		t.Fatal("invalid report written")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("file created for invalid report")
+	}
+}

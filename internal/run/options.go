@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -65,6 +66,12 @@ type Settings struct {
 	Quick bool
 	// Seed drives every randomized component.
 	Seed int64
+	// Metrics, when non-nil, is the registry exploration drivers publish
+	// their counters, gauges, and histograms on (see docs/MODEL.md for the
+	// metric names).
+	Metrics *obs.Registry
+	// Events, when non-nil, receives the structured run event log.
+	Events *obs.Log
 }
 
 // Option mutates one Settings field; the With... constructors below are the
@@ -167,6 +174,12 @@ func WithCheckpoint(dir string, every time.Duration) Option {
 // WithResume makes the exploration engine resume the run recorded in dir,
 // refusing to start if the stored manifest does not match these settings.
 func WithResume(dir string) Option { return func(s *Settings) { s.Resume = dir } }
+
+// WithMetrics publishes exploration metrics on the given registry.
+func WithMetrics(reg *obs.Registry) Option { return func(s *Settings) { s.Metrics = reg } }
+
+// WithEvents sends the structured run event log to the given log.
+func WithEvents(log *obs.Log) Option { return func(s *Settings) { s.Events = log } }
 
 // WithQuick shrinks experiment sweeps and sample counts.
 func WithQuick(quick bool) Option { return func(s *Settings) { s.Quick = quick } }

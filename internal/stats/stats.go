@@ -20,12 +20,20 @@ type Summary struct {
 }
 
 // Summarize computes summary statistics. An empty sample yields a zero
-// Summary.
+// Summary. NaN samples are dropped — they have no position on the axis, and
+// one of them would otherwise poison the mean and break the sorted-order
+// invariant percentiles rely on. ±Inf samples are kept and surface as the
+// extremes (an infinite sample legitimately makes the mean infinite).
 func Summarize(samples []float64) Summary {
-	if len(samples) == 0 {
+	sorted := make([]float64, 0, len(samples))
+	for _, v := range samples {
+		if !math.IsNaN(v) {
+			sorted = append(sorted, v)
+		}
+	}
+	if len(sorted) == 0 {
 		return Summary{}
 	}
-	sorted := append([]float64(nil), samples...)
 	sort.Float64s(sorted)
 	sum := 0.0
 	for _, v := range sorted {

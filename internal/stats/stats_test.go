@@ -71,6 +71,51 @@ func TestSummarizeInts(t *testing.T) {
 	}
 }
 
+func TestSummarizeIntsEmpty(t *testing.T) {
+	if s := SummarizeInts(nil); s != (Summary{}) {
+		t.Errorf("empty int summary = %+v, want zero", s)
+	}
+	if s := SummarizeInts([]int{}); s != (Summary{}) {
+		t.Errorf("empty int summary = %+v, want zero", s)
+	}
+}
+
+// TestPercentileSingleSample pins every percentile of a one-element sample
+// to that element: rank interpolation has no second point to lean on.
+func TestPercentileSingleSample(t *testing.T) {
+	sorted := []float64{7}
+	for _, p := range []float64{0, 1, 50, 95, 99, 100} {
+		if got := Percentile(sorted, p); got != 7 {
+			t.Errorf("P%v = %v, want 7", p, got)
+		}
+	}
+}
+
+func TestSummarizeDropsNaN(t *testing.T) {
+	s := Summarize([]float64{1, math.NaN(), 3, math.NaN()})
+	want := Summarize([]float64{1, 3})
+	if s != want {
+		t.Errorf("NaN summary = %+v, want %+v", s, want)
+	}
+	if all := Summarize([]float64{math.NaN(), math.NaN()}); all != (Summary{}) {
+		t.Errorf("all-NaN summary = %+v, want zero", all)
+	}
+}
+
+func TestSummarizeKeepsInf(t *testing.T) {
+	s := Summarize([]float64{1, 2, math.Inf(1)})
+	if s.N != 3 || !math.IsInf(s.Max, 1) || !math.IsInf(s.Mean, 1) {
+		t.Errorf("+Inf summary = %+v", s)
+	}
+	if s.Min != 1 {
+		t.Errorf("Min = %v, want 1", s.Min)
+	}
+	s = Summarize([]float64{math.Inf(-1), 5})
+	if !math.IsInf(s.Min, -1) || s.Max != 5 {
+		t.Errorf("-Inf summary = %+v", s)
+	}
+}
+
 func TestSummaryBoundsProperty(t *testing.T) {
 	prop := func(raw []uint8) bool {
 		if len(raw) == 0 {

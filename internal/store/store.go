@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/dedup"
+	"repro/internal/obs"
 )
 
 // FormatVersion identifies the checkpoint format; a store written by a
@@ -113,6 +114,26 @@ type Store struct {
 	manifest Manifest
 	cp       *Checkpoint
 	seq      int
+
+	// Observability, attached via Instrument; all nil-safe.
+	events    *obs.Log
+	saves     *obs.Counter
+	saveBytes *obs.Counter
+	saveMS    *obs.Histogram
+}
+
+// Instrument attaches observability to the store: checkpoint save counts,
+// serialized bytes, and write latency on the registry
+// (store.checkpoint.saves / .bytes / .write_ms), and a checkpoint.write
+// event per successful Save on the event log. Either argument may be nil.
+func (s *Store) Instrument(reg *obs.Registry, events *obs.Log) {
+	s.events = events
+	if reg != nil {
+		s.saves = reg.Counter("store.checkpoint.saves")
+		s.saveBytes = reg.Counter("store.checkpoint.bytes")
+		s.saveMS = reg.Histogram("store.checkpoint.write_ms",
+			0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+	}
 }
 
 // ErrMismatch reports that a run directory's manifest does not match the
@@ -206,13 +227,27 @@ func (s *Store) Verify(m Manifest) error {
 // Save atomically persists a checkpoint, assigning it the next sequence
 // number. The previous checkpoint is intact until the rename commits.
 func (s *Store) Save(cp *Checkpoint) error {
+	start := time.Now()
 	s.seq++
 	cp.Seq = s.seq
 	data, err := json.Marshal(cp)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	return writeFileAtomic(s.dir, checkpointFile, data)
+	if err := writeFileAtomic(s.dir, checkpointFile, data); err != nil {
+		return err
+	}
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	if s.saves != nil {
+		s.saves.Inc()
+		s.saveBytes.Add(int64(len(data)))
+		s.saveMS.Observe(ms)
+	}
+	s.events.Emit(obs.Info, "checkpoint.write", map[string]any{
+		"seq": cp.Seq, "bytes": len(data), "tasks": len(cp.Tasks),
+		"dedup_entries": len(cp.Dedup), "ms": ms, "done": cp.Done,
+	})
+	return nil
 }
 
 // writeFileAtomic writes name under dir crash-safely: temp file in the same

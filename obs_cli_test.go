@@ -1,0 +1,216 @@
+// CLI integration tests for the observability layer: the -report final run
+// report, the -events JSONL stream, and the -http live-introspection
+// endpoints of cmd/modelcheck.
+package repro_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestCLIModelcheckReport: a verified run writes a -report that validates
+// against the documented schema, with per-worker executions summing to the
+// verdict's Executions, and an -events file that is well-formed JSONL.
+func TestCLIModelcheckReport(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "out.json")
+	events := filepath.Join(dir, "run.jsonl")
+	out, code := runCLI(t, "modelcheck",
+		"-proto", "figure3", "-f", "1", "-t", "1", "-n", "2",
+		"-workers", "4", "-report", report, "-events", events, "-events-level", "debug")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report fails schema validation: %v", err)
+	}
+	if rep.Verdict.Result != "verified" || !rep.Verdict.Complete {
+		t.Errorf("verdict = %+v, want verified/complete", rep.Verdict)
+	}
+	if rep.Verdict.Workers != 4 {
+		t.Errorf("workers = %d, want 4", rep.Verdict.Workers)
+	}
+	if rep.Run["proto"] != "figure3" || rep.Run["n"] != "2" {
+		t.Errorf("run metadata = %v", rep.Run)
+	}
+	if rep.Metrics.Counters["explore.executions"] != rep.Verdict.Executions {
+		t.Errorf("metric executions = %d, verdict = %d",
+			rep.Metrics.Counters["explore.executions"], rep.Verdict.Executions)
+	}
+	if rep.Events["run.start"] != 1 || rep.Events["run.done"] != 1 {
+		t.Errorf("event counts = %v, want one run.start and one run.done", rep.Events)
+	}
+
+	ev, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(ev)), "\n")
+	var total int64
+	for _, c := range rep.Events {
+		total += c
+	}
+	if int64(len(lines)) != total {
+		t.Errorf("event file has %d lines, report counts %d", len(lines), total)
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("event line %d is not JSON: %s", i, line)
+		}
+	}
+}
+
+// TestCLIModelcheckReportViolation: a violating run exits 1 but still
+// writes a schema-valid report carrying the counterexample.
+func TestCLIModelcheckReportViolation(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "out.json")
+	out, code := runCLI(t, "modelcheck",
+		"-proto", "figure1", "-n", "3", "-unbounded", "-report", report)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report fails schema validation: %v", err)
+	}
+	if rep.Verdict.Result != "violation" || rep.Verdict.Violations == 0 {
+		t.Errorf("verdict = %+v, want violation", rep.Verdict)
+	}
+	ce, ok := rep.Counterexample.(map[string]any)
+	if !ok || ce["path"] == nil || ce["violation"] == "" {
+		t.Errorf("counterexample = %v", rep.Counterexample)
+	}
+	if rep.Verdict.FirstViolationNS <= 0 {
+		t.Errorf("first violation latency = %d", rep.Verdict.FirstViolationNS)
+	}
+}
+
+// TestCLIModelcheckHTTPLive: while a covering-sweep exploration runs,
+// -http serves /metrics (with live engine counters), /progress, and
+// /pprof/.
+func TestCLIModelcheckHTTPLive(t *testing.T) {
+	dir := buildCLIs(t)
+	// The f=2 staged tree is far larger than this deadline allows, so the
+	// process is guaranteed to still be exploring while we probe it.
+	cmd := exec.Command(filepath.Join(dir, "modelcheck"),
+		"-proto", "figure3", "-f", "2", "-t", "1", "-n", "3",
+		"-max", "1000000000", "-deadline", "60s", "-workers", "2",
+		"-http", "127.0.0.1:0", "-progress", "100ms")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The CLI announces the bound address on stderr before exploring.
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); i >= 0 {
+			addr = strings.Fields(line[i:])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no introspection address announced: %v", sc.Err())
+	}
+	go io.Copy(io.Discard, stderr) // keep the progress stream drained
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, err := client.Get(addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// The endpoint is live before the engine registers its counters, so
+	// poll /metrics until the run is underway.
+	var snap obs.Snapshot
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, body := get("/metrics")
+		if status != http.StatusOK {
+			t.Fatalf("/metrics status %d", status)
+		}
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("/metrics is not a snapshot: %v", err)
+		}
+		if _, ok := snap.Counters["explore.executions"]; ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/metrics never showed explore.executions: %v", snap.Counters)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, ok := snap.Histograms["explore.frontier.depth"]; !ok {
+		t.Error("/metrics has no frontier depth histogram")
+	}
+
+	// /progress may legitimately 204 before the first tick; wait for one.
+	deadline = time.Now().Add(10 * time.Second)
+	var status int
+	var body string
+	for {
+		status, body = get("/progress")
+		if status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/progress never reported (last status %d)", status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	var prog map[string]any
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("/progress is not JSON: %v", err)
+	}
+	if _, ok := prog["Executions"]; !ok {
+		t.Errorf("/progress has no Executions field: %v", prog)
+	}
+
+	if status, _ := get("/pprof/"); status != http.StatusOK {
+		t.Errorf("/pprof/ status %d", status)
+	}
+	if status, _ := get("/pprof/goroutine?debug=1"); status != http.StatusOK {
+		t.Errorf("/pprof/goroutine status %d", status)
+	}
+}

@@ -7,6 +7,14 @@
 # states-per-second throughput, executions per verification, and the dedup
 # hit rate, plus a derived summary of the dedup states-explored reduction.
 #
+# It then runs the same covering-sweep workload once through
+# `modelcheck -report` (with dedup and periodic checkpointing enabled) and
+# embeds the machine-readable report under "report", so the perf
+# trajectory includes the per-worker utilization counters
+# (explore.worker.N.executions / .steals / .idle_ns) and the
+# checkpoint-latency histograms (explore.checkpoint.save_ms,
+# store.checkpoint.write_ms) instead of scraping stderr.
+#
 #   scripts/bench.sh              # 3 iterations per benchmark (default)
 #   BENCHTIME=10x scripts/bench.sh
 set -eu
@@ -16,7 +24,10 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-3x}"
 OUT="${OUT:-BENCH_explore.json}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+BENCH_JSON="$(mktemp)"
+REPORT="$(mktemp)"
+RUNDIR="$(mktemp -d)"
+trap 'rm -rf "$RAW" "$BENCH_JSON" "$REPORT" "$RUNDIR"' EXIT
 
 go test -run '^$' \
 	-bench 'BenchmarkEngineCoveringSweep|BenchmarkSequentialCoveringSweep|BenchmarkEngineDedupSweep' \
@@ -64,6 +75,25 @@ END {
 	}
 	print "}"
 }
-' "$RAW" > "$OUT"
+' "$RAW" > "$BENCH_JSON"
+
+# One instrumented covering-sweep run (the benchmark workload: staged f=2,
+# t=1, n=3, all objects faulty, 4096-execution slab) producing the metric
+# snapshot the bench trajectory records. Checkpointing is on so the
+# checkpoint-latency histograms populate; the cap makes the run exit 0.
+echo "== instrumented covering-sweep run (-report) =="
+go run ./cmd/modelcheck \
+	-proto figure3 -f 2 -t 1 -n 3 -max 4096 -dedup \
+	-checkpoint "$RUNDIR/run" -checkpoint-every 100ms \
+	-report "$REPORT" >/dev/null
+
+# Embed the run report into the benchmark JSON: drop the closing brace,
+# splice in a "report" member, close the object again.
+{
+	sed '$d' "$BENCH_JSON"
+	printf '  ,\n  "report":\n'
+	sed 's/^/  /' "$REPORT"
+	printf '}\n'
+} > "$OUT"
 
 echo "wrote $OUT"

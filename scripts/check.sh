@@ -16,6 +16,18 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== obs gate (vet + staticcheck + fresh tests) =="
+# The observability layer is the measurement foundation every perf PR
+# builds on, so it gets its own uncached gate: vet, staticcheck when the
+# tool is installed, and -count=1 tests.
+go vet ./internal/obs/
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./internal/obs/
+else
+	echo "staticcheck not installed; skipping (go vet still gates internal/obs)"
+fi
+go test -count=1 ./internal/obs/
+
 echo "== go build =="
 go build ./...
 
