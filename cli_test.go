@@ -4,6 +4,7 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -13,6 +14,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/trace/export"
 )
 
 var (
@@ -364,5 +367,172 @@ func TestExamplesRun(t *testing.T) {
 				t.Errorf("example %s output missing %q:\n%s", name, marker, out)
 			}
 		})
+	}
+}
+
+// TestCLIModelcheckTraceAndExplain: -trace captures the violating execution
+// as trace/v1 JSONL plus a Perfetto timeline, and -explain replays the
+// capture, verifies it event for event, and narrates the fault.
+func TestCLIModelcheckTraceAndExplain(t *testing.T) {
+	traceDir := filepath.Join(t.TempDir(), "traces")
+	out, code := runCLI(t, "modelcheck",
+		"-proto", "figure3", "-f", "1", "-t", "1", "-n", "3",
+		"-trace", traceDir, "-trace-sample", "50")
+	if code != 1 {
+		t.Fatalf("want exit 1 on violation, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "trace       : 1 violation(s)") {
+		t.Errorf("missing trace summary line:\n%s", out)
+	}
+	capture := filepath.Join(traceDir, "violation-000001.jsonl")
+	if _, err := os.Stat(capture); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(traceDir, "violation-000001.perfetto.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	exp, code := runCLI(t, "modelcheck", "-explain", capture)
+	if code != 0 {
+		t.Fatalf("explain: exit %d:\n%s", code, exp)
+	}
+	for _, want := range []string{"verified", "consistency", "mis-fired", "tolerance bound"} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("explanation lacks %q:\n%s", want, exp)
+		}
+	}
+}
+
+func TestCLIModelcheckExplainGarbage(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("this is not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := runCLI(t, "modelcheck", "-explain", bad); code != 2 {
+		t.Errorf("garbage trace: exit %d, want 2", code)
+	}
+	if _, code := runCLI(t, "modelcheck", "-explain", filepath.Join(t.TempDir(), "missing.jsonl")); code != 2 {
+		t.Errorf("missing trace: exit %d, want 2", code)
+	}
+}
+
+// TestCLIModelcheckInterruptFlushesCleanly: on SIGINT, modelcheck shuts the
+// engine down gracefully and seals the event log and trace files — no
+// truncated final record anywhere, exit code 0.
+func TestCLIModelcheckInterruptFlushesCleanly(t *testing.T) {
+	dir := t.TempDir()
+	traceDir := filepath.Join(dir, "traces")
+	eventsFile := filepath.Join(dir, "events.jsonl")
+	bin := filepath.Join(buildCLIs(t), "modelcheck")
+	cmd := exec.Command(bin,
+		"-proto", "figure3", "-f", "1", "-t", "1", "-n", "2", "-unbounded",
+		"-workers", "1", "-events", eventsFile,
+		"-trace", traceDir, "-trace-sample", "200")
+	var buf strings.Builder
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	signaled := cmd.Process.Signal(os.Interrupt) == nil
+	err := cmd.Wait()
+	out := buf.String()
+	if err != nil {
+		t.Fatalf("interrupted run must exit 0: %v\n%s", err, out)
+	}
+	if signaled && !strings.Contains(out, "VERIFIED") &&
+		!strings.Contains(out, "interrupted : signal received") {
+		t.Errorf("no interrupt acknowledgement:\n%s", out)
+	}
+
+	// Every event-log line must be a complete JSON record.
+	data, err := os.ReadFile(eventsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("event log is empty")
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("event log line %d is not complete JSON: %q", i+1, line)
+		}
+	}
+
+	// Every trace artifact must be sealed: trace/v1 files carry their end
+	// record (export.ReadFile fails with ErrTruncated otherwise) and the
+	// Perfetto files are valid JSON.
+	traces, err := filepath.Glob(filepath.Join(traceDir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := 0
+	for _, f := range traces {
+		if _, err := export.ReadFile(f); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+		if strings.Contains(f, "spans-") {
+			spans++
+		}
+	}
+	if spans != 1 {
+		t.Errorf("want exactly one sealed spans file, got %d in %v", spans, traces)
+	}
+	perfettos, err := filepath.Glob(filepath.Join(traceDir, "*.perfetto.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range perfettos {
+		data, err := os.ReadFile(f)
+		if err != nil || !json.Valid(data) {
+			t.Errorf("%s is not valid JSON (err %v)", f, err)
+		}
+	}
+}
+
+// TestCLIModelcheckProfileCapture: -profile-dir writes pprof CPU and heap
+// profiles alongside the verdict.
+func TestCLIModelcheckProfileCapture(t *testing.T) {
+	profDir := filepath.Join(t.TempDir(), "prof")
+	out, code := runCLI(t, "modelcheck",
+		"-proto", "figure3", "-f", "1", "-t", "1", "-n", "2",
+		"-profile-dir", profDir)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "profiles    : cpu.pprof and heap.pprof written") {
+		t.Errorf("missing profiles line:\n%s", out)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(profDir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		} else if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+// TestCLIExperimentsTrace: the experiments driver forwards -trace to every
+// exploration of the sweep; the shared directory accumulates sealed files.
+func TestCLIExperimentsTrace(t *testing.T) {
+	traceDir := filepath.Join(t.TempDir(), "traces")
+	out, code := runCLI(t, "experiments", "-run", "E5", "-quick", "-trace", traceDir)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	traces, err := filepath.Glob(filepath.Join(traceDir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("experiments -trace wrote no trace files")
+	}
+	for _, f := range traces {
+		if _, err := export.ReadFile(f); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
 	}
 }

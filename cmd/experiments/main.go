@@ -30,6 +30,8 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /pprof/) on this address while experiments run, e.g. :6060")
 		events   = flag.String("events", "", "write the structured event log (JSONL) to this file, or '-' for stderr")
+		traceDir = flag.String("trace", "", "capture execution traces of every exploration (trace/v1 JSONL + Perfetto JSON) into this directory")
+		traceN   = flag.Int("trace-sample", 0, "with -trace, also capture one in N passing executions (0 = violations only)")
 	)
 	flag.Parse()
 
@@ -70,7 +72,8 @@ func main() {
 	}
 
 	opts := harness.NewOptions(run.WithQuick(*quick), run.WithSeed(*seed),
-		run.WithWorkers(*workers), run.WithMetrics(reg), run.WithEvents(evLog))
+		run.WithWorkers(*workers), run.WithMetrics(reg), run.WithEvents(evLog),
+		run.WithTraceDir(*traceDir, *traceN))
 	if *runID != "" {
 		e, ok := harness.ByID(*runID)
 		if !ok {

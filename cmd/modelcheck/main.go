@@ -26,6 +26,16 @@
 //
 //	modelcheck -proto figure3 -f 2 -n 3 -http :6060 -progress 2s
 //	modelcheck -proto figure3 -f 1 -n 2 -report out.json -events run.jsonl
+//
+// Execution tracing (docs/MODEL.md, "Execution tracing"): -trace captures
+// every violating execution (and a 1-in-N sample of passing ones with
+// -trace-sample) into a directory as replayable trace/v1 JSONL plus
+// Perfetto-loadable JSON; -explain verifies a captured trace by replay and
+// narrates the counterexample; -profile-dir records CPU and heap profiles
+// of the exploration itself.
+//
+//	modelcheck -proto figure3 -f 2 -n 3 -trace traces/ -trace-sample 1000
+//	modelcheck -explain traces/violation-000001.jsonl
 package main
 
 import (
@@ -37,9 +47,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -73,8 +88,19 @@ func main() {
 		reportOut = flag.String("report", "", "write the machine-readable final run report (JSON) to this file")
 		eventsOut = flag.String("events", "", "write the structured run event log (JSONL) to this file, or '-' for stderr")
 		eventsMin = flag.String("events-level", "info", "minimum event level: debug | info | warn | error")
+		traceDir  = flag.String("trace", "", "capture execution traces (trace/v1 JSONL + Perfetto JSON) into this directory; violations are always captured")
+		traceN    = flag.Int("trace-sample", 0, "with -trace, also capture one in N passing executions (0 = violations only)")
+		explainF  = flag.String("explain", "", "verify the trace/v1 file by replay and narrate the counterexample, then exit")
+		profDir   = flag.String("profile-dir", "", "write cpu.pprof and heap.pprof profiles of the exploration into this directory")
 	)
 	flag.Parse()
+
+	if *explainF != "" {
+		if err := explore.ExplainFile(os.Stdout, *explainF); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
 
 	var st *store.Store
 	if *resume != "" {
@@ -188,11 +214,20 @@ func main() {
 		}
 	}
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the exploration context instead of killing the
+	// process, so the event log, checkpoint, trace files, and profiles are
+	// all flushed and sealed before exit (a second signal kills immediately
+	// once stopSignals runs).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
+	}
+	profiles, err := startProfiles(*profDir)
+	if err != nil {
+		fail("%v", err)
 	}
 	// The registry backs the engine's counters whether or not anything
 	// reads it: Outcome, -http, and -report are all views of one counter set.
@@ -222,6 +257,16 @@ func main() {
 		Metrics:         reg,
 		Events:          events,
 	}
+	var tracer *explore.Tracer
+	if *traceDir != "" {
+		var err error
+		tracer, err = explore.NewTracer(*traceDir, *traceN,
+			settingsMeta(*protoName, *kindName, *f, *t, *n, *faulty, *unbounded, *dedup))
+		if err != nil {
+			fail("%v", err)
+		}
+		eng.Tracer = tracer
+	}
 	// Progress goes to stderr through one buffered writer so report lines
 	// never interleave with the verdict on stdout; the final report is
 	// flushed before any result is printed. The reporter also retains the
@@ -243,9 +288,17 @@ func main() {
 		defer shutdown() //nolint:errcheck // exiting anyway
 	}
 	out, err := eng.Check(ctx, cfg)
+	// From here on a signal should kill the process the ordinary way; the
+	// flushes below run regardless because the engine already returned.
+	stopSignals()
 	deadlineHit := errors.Is(err, context.DeadlineExceeded)
-	if err != nil && !deadlineHit {
+	interrupted := errors.Is(err, context.Canceled)
+	if cerr := tracer.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil && !deadlineHit && !interrupted {
 		rep.flush()
+		events.Flush() //nolint:errcheck // already failing
 		fail("%v", err)
 	}
 	if *progress > 0 {
@@ -268,6 +321,9 @@ func main() {
 			fail("%v", err)
 		}
 	}
+	if err := profiles.stop(); err != nil {
+		fail("%v", err)
+	}
 
 	fmt.Printf("protocol    : %s\n", proto.Name())
 	fmt.Printf("processes   : %d, faulty objects: %v, faults/object: %s\n",
@@ -286,6 +342,21 @@ func main() {
 	if deadlineHit {
 		fmt.Printf("deadline    : %s exceeded — partial exploration\n", *deadline)
 	}
+	if interrupted {
+		fmt.Printf("interrupted : signal received — partial exploration, state flushed cleanly\n")
+	}
+	if tracer != nil {
+		ts := tracer.Summary()
+		fmt.Printf("trace       : %d violation(s), %d sample(s), %d span(s) captured in %s\n",
+			ts.Violations, ts.Samples, ts.Spans, ts.Dir)
+		if ts.Skipped > 0 {
+			fmt.Printf("trace       : %d further violating executions not captured (cap %d)\n",
+				ts.Skipped, explore.MaxViolationCaptures)
+		}
+	}
+	if *profDir != "" {
+		fmt.Printf("profiles    : cpu.pprof and heap.pprof written to %s\n", *profDir)
+	}
 	if st != nil {
 		dir := st.Dir()
 		if deadlineHit || (!out.Complete && out.Violation == nil) {
@@ -301,6 +372,8 @@ func main() {
 			fmt.Println("result      : VERIFIED — no execution violates consensus")
 		case deadlineHit:
 			fmt.Println("result      : NO VIOLATION FOUND (deadline exceeded; raise -deadline for certainty)")
+		case interrupted:
+			fmt.Println("result      : NO VIOLATION FOUND (interrupted; resume or re-run for certainty)")
 		default:
 			fmt.Println("result      : NO VIOLATION FOUND (cap reached; increase -max for certainty)")
 		}
@@ -382,6 +455,9 @@ func (r *progressReporter) final(out *explore.Outcome) {
 func (r *progressReporter) line(p explore.Progress) {
 	fmt.Fprintf(r.w, "progress: %d executions, %.0f paths/sec, frontier %d, %d donated/%d stolen, %s elapsed",
 		p.Executions, p.Rate, p.Frontier, p.Donations, p.Steals, p.Elapsed.Round(time.Millisecond))
+	if p.DepthP99 > 0 {
+		fmt.Fprintf(r.w, ", depth p50/p99 %.0f/%.0f", p.DepthP50, p.DepthP99)
+	}
 	if p.Dedup.Lookups > 0 {
 		fmt.Fprintf(r.w, ", dedup %d states %.1f%% hits",
 			p.Dedup.States, 100*p.Dedup.HitRate())
@@ -443,6 +519,52 @@ func buildReport(out *explore.Outcome, reg *obs.Registry, events *obs.Log, meta 
 		rep.Verdict.Result = "incomplete"
 	}
 	return rep
+}
+
+// profileCapture owns the -profile-dir CPU/heap capture.
+type profileCapture struct {
+	dir string
+	cpu *os.File
+}
+
+// startProfiles begins the CPU profile in dir ("" disables capture).
+func startProfiles(dir string) (*profileCapture, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return nil, err
+	}
+	return &profileCapture{dir: dir, cpu: f}, nil
+}
+
+// stop seals the CPU profile and writes the heap profile. Nil-safe.
+func (p *profileCapture) stop() error {
+	if p == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	if err := p.cpu.Close(); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(p.dir, "heap.pprof"))
+	if err != nil {
+		return err
+	}
+	runtime.GC() // a settled heap makes the profile reflect live memory
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return err
+	}
+	return f.Close()
 }
 
 func fail(format string, args ...any) {

@@ -81,6 +81,12 @@ type Engine struct {
 	// lifecycle, checkpoint writes/restores, violations at Info; frontier
 	// donations and dedup prunes at Debug.
 	Events *obs.Log
+	// Tracer, when non-nil, captures executions as durable trace artifacts:
+	// every violation (up to MaxViolationCaptures) and a 1-in-N sample of
+	// passing runs are written as trace/v1 + Perfetto files, and the
+	// engine's worker-task and checkpoint spans feed its recorder. The
+	// caller owns the tracer's lifetime (Close seals the spans file).
+	Tracer *Tracer
 }
 
 // Progress is one throughput report of a running exploration.
@@ -104,6 +110,10 @@ type Progress struct {
 	// Dedup holds the state-cache counters (zero value when the engine
 	// runs without deduplication).
 	Dedup dedup.Stats
+	// DepthP50 and DepthP99 are quantiles of the root depth of tasks that
+	// entered the frontier — how deep into the tree the parallelism cuts.
+	DepthP50 float64
+	DepthP99 float64
 }
 
 // runMetrics is the registry-backed counter set of one engine run. The
@@ -163,6 +173,7 @@ type engineRun struct {
 	fr          *frontier
 	set         *dedup.Set   // nil without dedup
 	st          *store.Store // nil without checkpointing
+	tr          *Tracer      // nil without tracing
 	start       time.Time
 	elapsed0    time.Duration // wall clock accumulated before a resume
 
@@ -222,6 +233,7 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 		stopOnFirst: !e.Exhaustive,
 		lowWater:    2 * workers,
 		st:          e.Store,
+		tr:          e.Tracer,
 		start:       time.Now(),
 		cancel:      cancel,
 		m:           newRunMetrics(reg, workers),
@@ -429,7 +441,12 @@ func (r *engineRun) worker(ctx context.Context, w int) {
 func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHandle) bool {
 	c := &chooser{path: t.path, lb: t.floor}
 	var localSteps, localFaults int
+	var taskExecs int64
+	spanStart := r.tr.Recorder().Begin()
 	defer func() {
+		r.tr.Recorder().End("task", "worker", w, -1, spanStart, map[string]any{
+			"root_depth": len(t.path), "executions": taskExecs,
+		})
 		r.mu.Lock()
 		if localSteps > r.maxSteps {
 			r.maxSteps = localSteps
@@ -483,6 +500,7 @@ func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHand
 			}
 			continue
 		}
+		taskExecs++
 		if stats.maxSteps > localSteps {
 			localSteps = stats.maxSteps
 		}
@@ -491,6 +509,17 @@ func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHand
 		}
 		if !verdict.OK() {
 			r.recordViolation(w, ce, c.path)
+			if r.tr != nil {
+				if err := r.tr.captureViolation(w, c.path, ce); err != nil {
+					r.fail(fmt.Errorf("explore: trace capture: %w", err))
+					return false
+				}
+			}
+		} else if r.tr.sampleHit() {
+			if err := r.tr.captureSample(w, c.path, ce); err != nil {
+				r.fail(fmt.Errorf("explore: trace capture: %w", err))
+				return false
+			}
 		}
 		if r.fr.starving(r.lowWater) {
 			if alts := c.donate(); alts != nil {
@@ -646,9 +675,14 @@ func (r *engineRun) saveCheckpoint(final bool) error {
 	if r.set != nil {
 		cp.Dedup = r.set.Snapshot()
 	}
+	spanStart := r.tr.Recorder().Begin()
 	if err := r.st.Save(cp); err != nil {
 		return err
 	}
+	r.tr.Recorder().End("checkpoint", "checkpoint", -1, -1, spanStart, map[string]any{
+		"seq": r.m.ckptSaves.Load() + 1, "tasks": len(cp.Tasks),
+		"executions": cp.Executions, "final": final,
+	})
 	r.m.ckptSaves.Inc()
 	r.m.ckptMS.Observe(float64(time.Since(start).Microseconds()) / 1000)
 	return nil
@@ -726,6 +760,10 @@ func (e *Engine) startProgress(r *engineRun) func() {
 				}
 				if r.set != nil {
 					p.Dedup = r.set.Stats()
+				}
+				if snap := r.m.depth.Snapshot(); snap.Count > 0 {
+					p.DepthP50 = snap.Quantile(0.5)
+					p.DepthP99 = snap.Quantile(0.99)
 				}
 				e.Progress(p)
 			}

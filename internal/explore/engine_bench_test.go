@@ -117,3 +117,39 @@ func BenchmarkSequentialCoveringSweep(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(execs)/b.Elapsed().Seconds(), "paths/sec")
 }
+
+// BenchmarkEngineTracedCoveringSweep is the covering-sweep workload with
+// the tracing subsystem live: worker-task spans recorded and one in 1024
+// passing executions captured to disk as trace/v1 + Perfetto files. The
+// ns/op delta against BenchmarkEngineCoveringSweep/workers=4 is the
+// tracing overhead; scripts/bench.sh records the fraction in
+// BENCH_explore.json with a 15% budget.
+func BenchmarkEngineTracedCoveringSweep(b *testing.B) {
+	cfg := benchConfig()
+	b.Run("workers=4", func(b *testing.B) {
+		dir := b.TempDir()
+		meta := map[string]string{"proto": "figure3", "f": "2", "t": "1", "n": "3"}
+		var execs int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr, err := NewTracer(dir, 1024, meta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := &Engine{Workers: 4, Tracer: tr}
+			out, err := eng.Check(context.Background(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tr.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if out.Executions != cfg.MaxExecutions {
+				b.Fatalf("executions = %d, want %d", out.Executions, cfg.MaxExecutions)
+			}
+			execs += int64(out.Executions)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(execs)/b.Elapsed().Seconds(), "paths/sec")
+	})
+}

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -240,5 +242,56 @@ func TestEngineMetricsResumeRestored(t *testing.T) {
 	}
 	if log.Counts()["checkpoint.restore"] != 1 {
 		t.Errorf("checkpoint.restore events = %d, want 1", log.Counts()["checkpoint.restore"])
+	}
+}
+
+// TestEngineProgressDepthQuantiles: progress reports carry frontier-depth
+// quantiles from the depth histogram, and the quantiles are ordered. The
+// histogram only fills once workers donate subtrees, so the depth fields
+// may legitimately be zero early in a run — the invariant is ordering and
+// non-negativity, plus that reports flow at all.
+func TestEngineProgressDepthQuantiles(t *testing.T) {
+	cfg := Config{
+		Protocol:        core.NewStaged(1, 1),
+		Inputs:          inputs(2),
+		FaultyObjects:   []int{0, 1, 2},
+		FaultsPerObject: 1,
+	}
+	var (
+		mu      sync.Mutex
+		reports []Progress
+	)
+	eng := &Engine{
+		Workers:       4,
+		ProgressEvery: time.Millisecond,
+		Progress: func(p Progress) {
+			mu.Lock()
+			reports = append(reports, p)
+			mu.Unlock()
+		},
+	}
+	out, err := eng.Check(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Complete {
+		t.Fatalf("exploration did not complete: %+v", out)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) == 0 {
+		t.Fatal("no progress reports delivered")
+	}
+	sawDepth := false
+	for _, p := range reports {
+		if p.DepthP50 < 0 || p.DepthP99 < p.DepthP50 {
+			t.Errorf("quantiles disordered: p50=%v p99=%v", p.DepthP50, p.DepthP99)
+		}
+		if p.DepthP99 > 0 {
+			sawDepth = true
+		}
+	}
+	if out.Donations > 0 && !sawDepth {
+		t.Logf("donations=%d but no report carried depth quantiles (timing)", out.Donations)
 	}
 }

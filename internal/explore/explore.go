@@ -261,7 +261,8 @@ func ConfigFrom(s *run.Settings) Config {
 // run.WithCheckpoint creates a run store and checkpoints into it;
 // run.WithResume opens an existing run store, refuses mismatched settings
 // (store.ErrMismatch), and continues the stored exploration. run.WithDedup
-// turns on state deduplication.
+// turns on state deduplication. run.WithTraceDir captures durable execution
+// traces (the tracer is created and sealed inside this call).
 func CheckWith(ctx context.Context, opts ...run.Option) (*Outcome, error) {
 	s := run.NewSettings(opts...)
 	eng := &Engine{
@@ -297,7 +298,18 @@ func CheckWith(ctx context.Context, opts ...run.Option) (*Outcome, error) {
 		}
 		eng.Store = st
 	}
-	return eng.Check(ctx, cfg)
+	if s.TraceDir != "" {
+		tr, err := NewTracerFor(s)
+		if err != nil {
+			return nil, err
+		}
+		eng.Tracer = tr
+	}
+	out, err := eng.Check(ctx, cfg)
+	if cerr := eng.Tracer.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return out, err
 }
 
 // Check exhaustively explores the execution tree and returns the outcome.

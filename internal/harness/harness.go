@@ -36,25 +36,36 @@ type Options struct {
 	// Events, when non-nil, receives experiment lifecycle events and the
 	// engine event streams of the underlying explorations.
 	Events *obs.Log
+	// TraceDir, when non-empty, captures execution traces of every
+	// exploration the experiments drive into that directory (violations
+	// always, 1-in-TraceSample passing runs); file numbering is shared
+	// across the sweep's explorations.
+	TraceDir string
+	// TraceSample is the passing-execution sampling rate for TraceDir.
+	TraceSample int
 }
 
 // NewOptions derives experiment options from the unified run.With... options
 // (run.WithQuick, run.WithSeed, run.WithWorkers, run.WithMetrics,
-// run.WithEvents).
+// run.WithEvents, run.WithTraceDir).
 func NewOptions(opts ...run.Option) Options {
 	s := run.NewSettings(opts...)
 	return Options{Quick: s.Quick, Seed: s.Seed, Workers: s.Workers,
-		Metrics: s.Metrics, Events: s.Events}
+		Metrics: s.Metrics, Events: s.Events,
+		TraceDir: s.TraceDir, TraceSample: s.TraceSample}
 }
 
 // engine bundles the options every engine-driven exploration inside an
 // experiment shares: the parallelism plus the observability sinks, so one
-// registry and one event log see every exploration the harness runs.
+// registry, one event log, and one trace directory see every exploration
+// the harness runs.
 func (o Options) engine() run.Option {
 	return func(s *run.Settings) {
 		s.Workers = o.Workers
 		s.Metrics = o.Metrics
 		s.Events = o.Events
+		s.TraceDir = o.TraceDir
+		s.TraceSample = o.TraceSample
 	}
 }
 

@@ -16,6 +16,9 @@ import (
 //	           Progress report); 204 when progress is nil or returns nil
 //	/pprof/    the standard net/http/pprof handlers (index, profile,
 //	           heap, goroutine, trace, ...), re-rooted under /pprof/
+//	/debug/trace  on-demand runtime execution trace capture
+//	           (?seconds=N, default 1) — loadable in go tool trace
+//	           and in Perfetto
 //
 // The handler holds no locks across requests: /metrics snapshots the
 // registry, /progress calls progress() once.
@@ -45,6 +48,7 @@ func Handler(reg *Registry, progress func() any) *http.ServeMux {
 		r.URL.Path = "/debug/pprof/" + strings.TrimPrefix(r.URL.Path, "/pprof/")
 		pprof.Index(w, r)
 	})
+	mux.HandleFunc("/debug/trace", pprof.Trace)
 	return mux
 }
 

@@ -72,6 +72,13 @@ type Settings struct {
 	Metrics *obs.Registry
 	// Events, when non-nil, receives the structured run event log.
 	Events *obs.Log
+	// TraceDir, when non-empty, makes exploration drivers capture durable
+	// execution traces (trace/v1 JSONL + Perfetto JSON) into that directory:
+	// every violation, plus one in TraceSample passing executions.
+	TraceDir string
+	// TraceSample is the passing-execution sampling rate for TraceDir
+	// (0 disables passing-run capture; violations are always captured).
+	TraceSample int
 }
 
 // Option mutates one Settings field; the With... constructors below are the
@@ -180,6 +187,16 @@ func WithMetrics(reg *obs.Registry) Option { return func(s *Settings) { s.Metric
 
 // WithEvents sends the structured run event log to the given log.
 func WithEvents(log *obs.Log) Option { return func(s *Settings) { s.Events = log } }
+
+// WithTraceDir makes exploration drivers capture durable execution traces
+// into dir: every violation, plus one in sampleN passing executions
+// (0 disables passing-run capture).
+func WithTraceDir(dir string, sampleN int) Option {
+	return func(s *Settings) {
+		s.TraceDir = dir
+		s.TraceSample = sampleN
+	}
+}
 
 // WithQuick shrinks experiment sweeps and sample counts.
 func WithQuick(quick bool) Option { return func(s *Settings) { s.Quick = quick } }

@@ -21,24 +21,18 @@ import (
 // (failed comparison). Decide and halt events span their process column.
 func (l *Log) Diagram() string {
 	procs := 0
+	maxIndex := 0
 	for _, e := range l.events {
 		if e.Proc+1 > procs {
 			procs = e.Proc + 1
+		}
+		if e.Index > maxIndex {
+			maxIndex = e.Index
 		}
 	}
 	if procs == 0 {
 		return "(empty trace)\n"
 	}
-
-	const colWidth = 24
-	var b strings.Builder
-
-	// Header.
-	b.WriteString(fmt.Sprintf("%-6s", ""))
-	for p := 0; p < procs; p++ {
-		b.WriteString(fmt.Sprintf("%-*s", colWidth, fmt.Sprintf("p%d", p)))
-	}
-	b.WriteByte('\n')
 
 	cell := func(e Event) string {
 		switch e.Kind {
@@ -66,14 +60,44 @@ func (l *Log) Diagram() string {
 		}
 	}
 
-	for _, e := range l.events {
-		b.WriteString(fmt.Sprintf("#%-5d", e.Index))
+	// Measure before rendering: the column width fits the widest cell and
+	// the widest header label, so diagrams with many processes or wide
+	// register words (version-tagged pairs, large values) stay aligned
+	// instead of overflowing a fixed-width column.
+	const minColWidth = 12
+	cells := make([]string, len(l.events))
+	colWidth := displayWidth(fmt.Sprintf("p%d", procs-1)) + 2
+	if colWidth < minColWidth {
+		colWidth = minColWidth
+	}
+	for i, e := range l.events {
+		cells[i] = cell(e)
+		if w := displayWidth(cells[i]) + 2; w > colWidth {
+			colWidth = w
+		}
+	}
+	// The step gutter likewise grows with the largest index (at least the
+	// historical 6 columns).
+	gutter := len(fmt.Sprintf("#%d", maxIndex)) + 1
+	if gutter < 6 {
+		gutter = 6
+	}
+
+	var b strings.Builder
+	b.WriteString(strings.Repeat(" ", gutter))
+	for p := 0; p < procs; p++ {
+		b.WriteString(padDisplay(fmt.Sprintf("p%d", p), colWidth))
+	}
+	b.WriteByte('\n')
+
+	for i, e := range l.events {
+		b.WriteString(padDisplay(fmt.Sprintf("#%d", e.Index), gutter))
 		for p := 0; p < procs; p++ {
 			content := "."
 			// Corruption events belong to no process; render them in
 			// column 0 with a distinguishing prefix.
 			if p == e.Proc && e.Kind != EventCorrupt || (e.Kind == EventCorrupt && p == 0) {
-				content = cell(e)
+				content = cells[i]
 			}
 			b.WriteString(padDisplay(content, colWidth))
 		}
@@ -82,13 +106,19 @@ func (l *Log) Diagram() string {
 	return b.String()
 }
 
-// padDisplay pads s with spaces to the given display width, counting runes
-// rather than bytes (the diagram uses ⊥, ⟨⟩, ✓, ⚡).
-func padDisplay(s string, width int) string {
+// displayWidth counts runes, the diagram's unit of horizontal space.
+func displayWidth(s string) int {
 	n := 0
 	for range s {
 		n++
 	}
+	return n
+}
+
+// padDisplay pads s with spaces to the given display width, counting runes
+// rather than bytes (the diagram uses ⊥, ⟨⟩, ✓, ⚡).
+func padDisplay(s string, width int) string {
+	n := displayWidth(s)
 	if n >= width {
 		return s + " "
 	}

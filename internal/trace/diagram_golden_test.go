@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/word"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// wideLog builds a diagram stress case: 11 processes (two-digit column
+// headers) and staged register words far wider than the historical fixed
+// 24-rune column.
+func wideLog() *Log {
+	l := New()
+	for p := 0; p < 11; p++ {
+		pre := word.Bottom
+		if p > 0 {
+			pre = word.Pack(int64(100+p-1), int64(40+p))
+		}
+		post := word.Pack(int64(100+p), int64(40+p))
+		l.Append(Event{Index: p, Kind: EventCAS, Proc: p, Object: p % 3,
+			Exp: pre, New: post, Pre: pre, Post: post, Old: pre})
+	}
+	l.Append(Event{Index: 11, Kind: EventCAS, Proc: 10, Object: 0,
+		Exp: word.Bottom, New: word.FromValue(999),
+		Pre: word.Pack(110, 50), Post: word.FromValue(999),
+		Old: word.Pack(110, 50), Fault: fault.Overriding})
+	l.Append(Event{Index: 12, Kind: EventDecide, Proc: 10, Value: word.FromValue(999)})
+	return l
+}
+
+// TestDiagramWideGolden pins the exact rendering of a wide diagram (11
+// processes, staged words) against testdata/diagram_wide.golden; regenerate
+// with `go test ./internal/trace -run Golden -update` after an intentional
+// format change.
+func TestDiagramWideGolden(t *testing.T) {
+	got := wideLog().Diagram()
+	path := filepath.Join("testdata", "diagram_wide.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagram deviates from golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestDiagramWideAlignment asserts the structural property the golden file
+// encodes: every row has the same display width, and every event's cell
+// starts exactly under its process's header label — the invariant the old
+// fixed-width rendering broke for ≥10 processes and wide register values.
+func TestDiagramWideAlignment(t *testing.T) {
+	l := wideLog()
+	d := l.Diagram()
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	if len(lines) != 14 { // header + 13 events
+		t.Fatalf("diagram has %d lines:\n%s", len(lines), d)
+	}
+	width := displayWidth(lines[0])
+	for i, row := range lines {
+		if w := displayWidth(row); w != width {
+			t.Errorf("row %d has display width %d, header has %d:\n%s", i, w, width, d)
+		}
+	}
+	header := []rune(lines[0])
+	for i, e := range l.Events() {
+		label := "p" + string([]rune{rune('0' + e.Proc/10), rune('0' + e.Proc%10)})
+		if e.Proc < 10 {
+			label = "p" + string(rune('0'+e.Proc))
+		}
+		pos := runeIndex(header, label+" ")
+		if pos < 0 {
+			t.Fatalf("header lacks %q: %q", label, lines[0])
+		}
+		row := []rune(lines[i+1])
+		if pos >= len(row) || row[pos] == ' ' || row[pos] == '.' {
+			t.Errorf("row %d: p%d's cell does not start at header column %d:\n%s", i, e.Proc, pos, d)
+		}
+	}
+}
+
+// runeIndex finds the rune offset of the first occurrence of sub.
+func runeIndex(runes []rune, sub string) int {
+	s := string(runes)
+	b := strings.Index(s, sub)
+	if b < 0 {
+		return -1
+	}
+	return len([]rune(s[:b]))
+}

@@ -1,0 +1,206 @@
+package export
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+func sampleExecution() *Execution {
+	return &Execution{
+		Meta: Meta{
+			Kind:     "execution",
+			Run:      map[string]string{"proto": "figure3", "f": "1", "t": "1", "n": "3"},
+			Worker:   2,
+			Path:     []int{0, 1, 0},
+			Schedule: []int{0, 1, 2},
+			Inputs:   []int64{10, 11, 12},
+			Verdict:  "consistency",
+			Detail:   "process 2 decided 11 but an earlier process decided 10",
+		},
+		Events: []trace.Event{
+			{Index: 0, Kind: trace.EventCAS, Proc: 0, Object: 0,
+				Exp: word.Bottom, New: word.FromValue(10), Pre: word.Bottom,
+				Post: word.FromValue(10), Old: word.Bottom},
+			{Index: 1, Kind: trace.EventCAS, Proc: 1, Object: 0,
+				Exp: word.Bottom, New: word.FromValue(11), Pre: word.FromValue(10),
+				Post: word.FromValue(11), Old: word.FromValue(10), Fault: fault.Overriding},
+			{Index: 2, Kind: trace.EventDecide, Proc: 1, Value: word.FromValue(11)},
+		},
+		Spans: []trace.Span{
+			{Name: "task", Cat: "worker", PID: 0, TID: -1, Start: 100, Dur: 5000},
+		},
+		DroppedSpans: 4,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	x := sampleExecution()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Begin(x.Meta); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range x.Events {
+		if err := w.Event(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range x.Spans {
+		if err := w.Span(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.SetDropped(x.DroppedSpans)
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Schema != Schema {
+		t.Errorf("schema = %q", got.Meta.Schema)
+	}
+	if got.Meta.Verdict != x.Meta.Verdict || got.Meta.Worker != x.Meta.Worker {
+		t.Errorf("meta mismatch: %+v", got.Meta)
+	}
+	if len(got.Meta.Path) != 3 || got.Meta.Path[1] != 1 {
+		t.Errorf("path mismatch: %v", got.Meta.Path)
+	}
+	if len(got.Events) != len(x.Events) {
+		t.Fatalf("got %d events, want %d", len(got.Events), len(x.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != x.Events[i] {
+			t.Errorf("event %d: got %+v want %+v", i, got.Events[i], x.Events[i])
+		}
+	}
+	if len(got.Spans) != 1 || got.Spans[0].Dur != 5000 {
+		t.Errorf("spans mismatch: %+v", got.Spans)
+	}
+	if got.DroppedSpans != 4 {
+		t.Errorf("dropped spans = %d, want 4", got.DroppedSpans)
+	}
+}
+
+func TestWriteExecutionReadFile(t *testing.T) {
+	x := sampleExecution()
+	path := filepath.Join(t.TempDir(), "x.jsonl")
+	if err := WriteExecution(path, x); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(x.Events) || got.Meta.Kind != "execution" {
+		t.Errorf("round trip lost data: %d events, kind %q", len(got.Events), got.Meta.Kind)
+	}
+}
+
+// TestTruncationDetected: a file missing its end record — the writer was
+// killed mid-stream — must fail with ErrTruncated, not parse as a shorter
+// execution.
+func TestTruncationDetected(t *testing.T) {
+	x := sampleExecution()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Begin(x.Meta); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range x.Events {
+		if err := w.Event(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop off the end record — the tail a crash mid-write loses.
+	sealed := strings.TrimRight(buf.String(), "\n")
+	truncated := sealed[:strings.LastIndexByte(sealed, '\n')+1]
+	if _, err := Read(strings.NewReader(truncated)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("unsealed file: err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestCountMismatchDetected: an end record whose counts disagree with the
+// records present (a lost middle block) is refused.
+func TestCountMismatchDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Begin(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Event(trace.Event{Kind: trace.EventDecide}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Event(trace.Event{Kind: trace.EventHalt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop one event line (line 2) but keep the end record.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	corrupted := strings.Join(append(lines[:1:1], lines[2:]...), "\n")
+	if _, err := Read(strings.NewReader(corrupted)); err == nil ||
+		!strings.Contains(err.Error(), "end record counts") {
+		t.Errorf("count mismatch: err = %v", err)
+	}
+}
+
+func TestReadRefusesWrongSchema(t *testing.T) {
+	in := `{"type":"meta","meta":{"schema":"trace/v2"}}`
+	if _, err := Read(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema: err = %v", err)
+	}
+}
+
+func TestReadRefusesMissingMeta(t *testing.T) {
+	in := `{"type":"event","event":{"i":0,"kind":"decide","proc":0}}`
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Error("a file without a meta record must be refused")
+	}
+}
+
+func TestWriterSequenceEnforced(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Event(trace.Event{}); err == nil {
+		t.Error("Event before Begin must fail")
+	}
+	if err := w.End(); err == nil {
+		t.Error("End before Begin must fail")
+	}
+	if err := w.Begin(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(Meta{}); err == nil {
+		t.Error("double Begin must fail")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Begin(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(); err != nil {
+		t.Errorf("second End must be a no-op, got %v", err)
+	}
+	if n := strings.Count(buf.String(), `"type":"end"`); n != 1 {
+		t.Errorf("file has %d end records, want 1", n)
+	}
+}

@@ -1,0 +1,217 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// Chrome trace-event JSON (the format Perfetto and chrome://tracing load):
+// an object with a "traceEvents" array of phase-tagged events. Simulated
+// executions have no wall clock, so each atomic step is rendered as a
+// fixed-width slice at ts = step·stepUS — the timeline then reads as the
+// schedule itself, one lane per process, with fault injections as flow
+// marks. Wall-clock spans (engine workers, checkpoints) use their real
+// timestamps, one lane per worker.
+const (
+	stepUS  = 10 // microseconds per simulated atomic step
+	sliceUS = 8  // rendered slice width (gap makes step boundaries visible)
+)
+
+// perfettoEvent is one traceEvents entry.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// Perfetto renders the execution as Chrome trace-event JSON: pid = engine
+// worker, tid = process, one complete ("X") slice per atomic step whose
+// args carry the CAS arguments (exp), the observed register content
+// (observed = pre), the written content (wrote = post), the returned old
+// value, and the fault kind; fault injections additionally emit an instant
+// event so they stand out on the timeline.
+func Perfetto(w io.Writer, x *Execution) error {
+	pid := x.Meta.Worker
+	if pid < 0 {
+		pid = 0
+	}
+	f := perfettoFile{DisplayTimeUnit: "ms", TraceEvents: []perfettoEvent{}}
+	meta := func(p, t int, name, val string) {
+		ev := perfettoEvent{Name: name, Ph: "M", PID: p, TID: t,
+			Args: map[string]any{"name": val}}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+
+	if len(x.Events) > 0 {
+		meta(pid, 0, "process_name", fmt.Sprintf("worker %d", pid))
+		procs := 0
+		for _, e := range x.Events {
+			if e.Proc+1 > procs {
+				procs = e.Proc + 1
+			}
+		}
+		for p := 0; p < procs; p++ {
+			meta(pid, p, "thread_name", fmt.Sprintf("p%d", p))
+		}
+		// Corruption events belong to no process; give the adversary its
+		// own lane after the process lanes.
+		advTID := procs
+		haveAdv := false
+		for _, e := range x.Events {
+			ts := int64(e.Index) * stepUS
+			tid := e.Proc
+			if e.Kind == trace.EventCorrupt {
+				tid = advTID
+				haveAdv = true
+			}
+			ev := perfettoEvent{
+				Name: sliceName(e),
+				Cat:  string(e.Kind),
+				Ph:   "X",
+				TS:   ts,
+				Dur:  sliceUS,
+				PID:  pid,
+				TID:  tid,
+				Args: sliceArgs(e),
+			}
+			f.TraceEvents = append(f.TraceEvents, ev)
+			if e.Fault != fault.None {
+				f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+					Name: "FAULT " + e.Fault.String(),
+					Cat:  "fault",
+					Ph:   "i",
+					TS:   ts,
+					PID:  pid,
+					TID:  tid,
+					S:    "p",
+					Args: map[string]any{"step": e.Index, "object": e.Object},
+				})
+			}
+		}
+		if haveAdv {
+			meta(pid, advTID, "thread_name", "adversary")
+		}
+	}
+
+	// Wall-clock spans: pid = worker (engine-level spans such as checkpoint
+	// writes carry pid -1 and get their own "engine" lane), tid = the
+	// span's sub-lane.
+	const engineLane = 1 << 20 // pids must be non-negative for Perfetto
+	workers := map[int]bool{}
+	for _, s := range x.Spans {
+		pid, name := s.PID, fmt.Sprintf("worker %d", s.PID)
+		if pid < 0 {
+			pid, name = engineLane, "engine"
+		}
+		if !workers[pid] {
+			workers[pid] = true
+			meta(pid, 0, "process_name", name)
+		}
+		tid := s.TID
+		if tid < 0 {
+			tid = 0
+		}
+		f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   s.Start / 1000, // ns → µs
+			Dur:  max64(s.Dur/1000, 1),
+			PID:  pid,
+			TID:  tid,
+			Args: s.Args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(&f); err != nil {
+		return fmt.Errorf("export: perfetto: %w", err)
+	}
+	return nil
+}
+
+// WritePerfetto renders the execution as a Perfetto JSON file at path.
+func WritePerfetto(path string, x *Execution) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	if err := Perfetto(f, x); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	return nil
+}
+
+// sliceName labels one atomic step on the timeline.
+func sliceName(e trace.Event) string {
+	switch e.Kind {
+	case trace.EventCAS:
+		name := fmt.Sprintf("CAS(O%d, %s→%s)", e.Object, e.Exp, e.New)
+		if e.Fault != fault.None {
+			name += " ⚡" + e.Fault.String()
+		}
+		return name
+	case trace.EventRead:
+		return fmt.Sprintf("Read(R%d)", e.Object)
+	case trace.EventWrite:
+		return fmt.Sprintf("Write(R%d, %s)", e.Object, e.Value)
+	case trace.EventDecide:
+		return fmt.Sprintf("DECIDE %s", e.Value)
+	case trace.EventCorrupt:
+		return fmt.Sprintf("DATA-FAULT O%d ← %s", e.Object, e.Value)
+	case trace.EventHalt:
+		return "HALT"
+	default:
+		return string(e.Kind)
+	}
+}
+
+// sliceArgs carries the step's full observable state into the viewer's
+// argument pane.
+func sliceArgs(e trace.Event) map[string]any {
+	args := map[string]any{"step": e.Index, "proc": e.Proc}
+	switch e.Kind {
+	case trace.EventCAS:
+		args["object"] = e.Object
+		args["exp"] = e.Exp.String()
+		args["new"] = e.New.String()
+		args["observed"] = e.Pre.String()
+		args["wrote"] = e.Post.String()
+		args["old"] = e.Old.String()
+		args["fault"] = e.Fault.String()
+	case trace.EventRead, trace.EventWrite, trace.EventCorrupt:
+		args["object"] = e.Object
+		args["value"] = e.Value.String()
+	case trace.EventDecide:
+		args["decision"] = e.Value.String()
+	}
+	return args
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

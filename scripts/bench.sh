@@ -7,6 +7,14 @@
 # states-per-second throughput, executions per verification, and the dedup
 # hit rate, plus a derived summary of the dedup states-explored reduction.
 #
+# A second, dedicated pass measures the tracing overhead: the traced and
+# untraced covering sweeps run interleaved for TRACE_COUNT repetitions and
+# the per-benchmark MINIMUM ns/op is compared (the minimum is the reading
+# least contaminated by machine noise — single samples on a loaded box can
+# misread the overhead by an order of magnitude). The fraction is recorded
+# under "trace_overhead" with its 15% budget; exceeding the budget prints a
+# warning but does not fail the script (scripts/check.sh is the hard gate).
+#
 # It then runs the same covering-sweep workload once through
 # `modelcheck -report` (with dedup and periodic checkpointing enabled) and
 # embeds the machine-readable report under "report", so the perf
@@ -22,12 +30,15 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3x}"
+TRACE_COUNT="${TRACE_COUNT:-5}"
 OUT="${OUT:-BENCH_explore.json}"
 RAW="$(mktemp)"
+RAW_TRACE="$(mktemp)"
 BENCH_JSON="$(mktemp)"
+OVERHEAD="$(mktemp)"
 REPORT="$(mktemp)"
 RUNDIR="$(mktemp -d)"
-trap 'rm -rf "$RAW" "$BENCH_JSON" "$REPORT" "$RUNDIR"' EXIT
+trap 'rm -rf "$RAW" "$RAW_TRACE" "$BENCH_JSON" "$OVERHEAD" "$REPORT" "$RUNDIR"' EXIT
 
 go test -run '^$' \
 	-bench 'BenchmarkEngineCoveringSweep|BenchmarkSequentialCoveringSweep|BenchmarkEngineDedupSweep' \
@@ -77,6 +88,25 @@ END {
 }
 ' "$RAW" > "$BENCH_JSON"
 
+echo "== tracing overhead (traced vs untraced covering sweep, min of $TRACE_COUNT) =="
+go test -run '^$' \
+	-bench 'BenchmarkEngineCoveringSweep/workers=4$|BenchmarkEngineTracedCoveringSweep' \
+	-benchtime "$BENCHTIME" -count "$TRACE_COUNT" ./internal/explore/ | tee "$RAW_TRACE"
+
+awk -v count="$TRACE_COUNT" '
+/^BenchmarkEngineCoveringSweep\/workers=4/       { if (!u || $3 + 0 < u) u = $3 + 0 }
+/^BenchmarkEngineTracedCoveringSweep\/workers=4/ { if (!t || $3 + 0 < t) t = $3 + 0 }
+END {
+	if (!u || !t) { print "{}"; exit 1 }
+	overhead = (t - u) / u
+	printf "{\"untraced_min_ns_per_op\": %.0f, \"traced_min_ns_per_op\": %.0f, \"overhead_fraction\": %.4f, \"budget_fraction\": 0.15, \"samples\": %d}\n", \
+		u, t, overhead, count
+	if (overhead > 0.15) {
+		printf "WARNING: tracing overhead %.1f%% exceeds the 15%% budget\n", 100 * overhead > "/dev/stderr"
+	}
+}
+' "$RAW_TRACE" > "$OVERHEAD"
+
 # One instrumented covering-sweep run (the benchmark workload: staged f=2,
 # t=1, n=3, all objects faulty, 4096-execution slab) producing the metric
 # snapshot the bench trajectory records. Checkpointing is on so the
@@ -87,10 +117,12 @@ go run ./cmd/modelcheck \
 	-checkpoint "$RUNDIR/run" -checkpoint-every 100ms \
 	-report "$REPORT" >/dev/null
 
-# Embed the run report into the benchmark JSON: drop the closing brace,
-# splice in a "report" member, close the object again.
+# Embed the overhead measurement and the run report into the benchmark
+# JSON: drop the closing brace, splice in the members, close the object.
 {
 	sed '$d' "$BENCH_JSON"
+	printf '  ,\n  "trace_overhead":\n'
+	sed 's/^/  /' "$OVERHEAD"
 	printf '  ,\n  "report":\n'
 	sed 's/^/  /' "$REPORT"
 	printf '}\n'

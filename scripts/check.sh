@@ -28,6 +28,13 @@ else
 fi
 go test -count=1 ./internal/obs/
 
+echo "== trace gate (vet + fresh tests) =="
+# The trace/v1 on-disk format and the Perfetto rendering are what every
+# capture, replay, and explanation depends on, so the trace packages get
+# the same uncached gate.
+go vet ./internal/trace/ ./internal/trace/export/
+go test -count=1 ./internal/trace/ ./internal/trace/export/
+
 echo "== go build =="
 go build ./...
 
