@@ -336,8 +336,9 @@ func main() {
 			out.Workers, float64(out.Executions)/secs, out.Elapsed.Round(time.Millisecond))
 	}
 	if out.Dedup != nil {
-		fmt.Printf("dedup       : %d states, %d of %d lookups pruned (%.1f%%)\n",
-			out.Dedup.States, out.Dedup.Hits, out.Dedup.Lookups, 100*out.Dedup.HitRate())
+		fmt.Printf("dedup       : %d states, %d of %d replays pruned (%.1f%%), %d executions saved\n",
+			out.Dedup.States, out.Dedup.Hits, out.Dedup.LeafLookups, 100*out.Dedup.HitRate(),
+			out.Dedup.ExecutionsSaved)
 	}
 	if deadlineHit {
 		fmt.Printf("deadline    : %s exceeded — partial exploration\n", *deadline)

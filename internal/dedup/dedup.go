@@ -56,6 +56,30 @@ const numShards = 64
 type shard struct {
 	mu sync.Mutex
 	m  map[Fingerprint][]int32
+	// buf is the shard's interning arena: representative paths are carved
+	// out of large chunks instead of one heap object per state, which
+	// removes the per-store allocation from the Visit hot path.
+	buf []int32
+}
+
+// internChunk is the arena chunk size in cells; paths longer than a chunk
+// get an exact allocation.
+const internChunk = 4096
+
+// intern copies path into the shard's arena. Callers hold the shard lock.
+func (sh *shard) intern(path []int) []int32 {
+	n := len(path)
+	if n > internChunk {
+		return compact(path)
+	}
+	if len(sh.buf)+n > cap(sh.buf) {
+		sh.buf = make([]int32, 0, internChunk)
+	}
+	start := len(sh.buf)
+	for _, v := range path {
+		sh.buf = append(sh.buf, int32(v))
+	}
+	return sh.buf[start : start+n : start+n]
 }
 
 // Set is the concurrent visited-state set. The zero value is not usable;
@@ -72,6 +96,16 @@ type Set struct {
 	lookups  atomic.Int64
 	hits     atomic.Int64
 	improved atomic.Int64
+
+	// leafLookups and saved are engine-side effectiveness counters: Visit
+	// runs once per scheduling decision (so Lookups counts steps, not
+	// executions, and most of them are Revisits of the worker's own
+	// prefix), while a whole execution is what a Prune actually saves.
+	// The engine calls LeafLookup once per replayed leaf and
+	// ExecutionSaved once per pruned replay, making Hits/LeafLookups the
+	// honest hit rate.
+	leafLookups atomic.Int64
+	saved       atomic.Int64
 }
 
 // NewSet returns an empty set holding at most limit states (0 = unlimited).
@@ -98,7 +132,7 @@ func (s *Set) Visit(fp Fingerprint, path []int) Decision {
 		if s.limit > 0 && s.size.Load() >= s.limit {
 			return Stored // full: not recorded, treated as fresh
 		}
-		sh.m[fp] = compact(path)
+		sh.m[fp] = sh.intern(path)
 		s.size.Add(1)
 		return Stored
 	}
@@ -109,11 +143,19 @@ func (s *Set) Visit(fp Fingerprint, path []int) Decision {
 		s.hits.Add(1)
 		return Prune
 	default:
-		sh.m[fp] = compact(path)
+		sh.m[fp] = sh.intern(path)
 		s.improved.Add(1)
 		return Improved
 	}
 }
+
+// LeafLookup counts one replayed leaf that consulted the set. Callers (the
+// exploration engine) invoke it once per completed or pruned replay.
+func (s *Set) LeafLookup() { s.leafLookups.Add(1) }
+
+// ExecutionSaved counts one whole execution eliminated by a Prune decision.
+// Incremented by the engine at its prune site.
+func (s *Set) ExecutionSaved() { s.saved.Add(1) }
 
 // compact stores a choice path in 32-bit cells (arities are tiny).
 func compact(path []int) []int32 {
@@ -157,10 +199,24 @@ type Stats struct {
 	// Improved is the number of representative replacements by a
 	// lexicographically smaller path.
 	Improved int64
+	// LeafLookups is the number of replayed leaves that consulted the set
+	// (one per execution, pruned or completed — versus Lookups, which is
+	// one per scheduling decision).
+	LeafLookups int64
+	// ExecutionsSaved is the number of whole executions eliminated at the
+	// engine's prune site.
+	ExecutionsSaved int64
 }
 
-// HitRate is the fraction of lookups that pruned a subtree.
+// HitRate is the fraction of replayed leaves that were pruned: Hits over
+// LeafLookups. Dividing by all Visit calls instead (one per step, nearly
+// all of them Revisits of the worker's own prefix) once underreported a
+// 60%-savings run as a 1% hit rate. When the engine-side leaf counter is
+// absent (bare Set users), it falls back to the per-step ratio.
 func (s Stats) HitRate() float64 {
+	if s.LeafLookups > 0 {
+		return float64(s.Hits) / float64(s.LeafLookups)
+	}
 	if s.Lookups == 0 {
 		return 0
 	}
@@ -170,10 +226,12 @@ func (s Stats) HitRate() float64 {
 // Stats returns the current counters.
 func (s *Set) Stats() Stats {
 	return Stats{
-		States:   s.size.Load(),
-		Lookups:  s.lookups.Load(),
-		Hits:     s.hits.Load(),
-		Improved: s.improved.Load(),
+		States:          s.size.Load(),
+		Lookups:         s.lookups.Load(),
+		Hits:            s.hits.Load(),
+		Improved:        s.improved.Load(),
+		LeafLookups:     s.leafLookups.Load(),
+		ExecutionsSaved: s.saved.Load(),
 	}
 }
 
@@ -189,6 +247,8 @@ func (s *Set) Register(reg *obs.Registry) {
 	reg.Func("dedup.lookups", s.lookups.Load)
 	reg.Func("dedup.hits", s.hits.Load)
 	reg.Func("dedup.improved", s.improved.Load)
+	reg.Func("dedup.leaf_lookups", s.leafLookups.Load)
+	reg.Func("dedup.executions_saved", s.saved.Load)
 }
 
 // Entry is one persisted state: its fingerprint and representative path.
@@ -229,11 +289,11 @@ func (s *Set) Restore(entries []Entry) {
 		stored, ok := sh.m[fp]
 		if !ok {
 			if s.limit <= 0 || s.size.Load() < s.limit {
-				sh.m[fp] = compact(e.Path)
+				sh.m[fp] = sh.intern(e.Path)
 				s.size.Add(1)
 			}
 		} else if comparePaths(stored, e.Path) > 0 {
-			sh.m[fp] = compact(e.Path)
+			sh.m[fp] = sh.intern(e.Path)
 		}
 		sh.mu.Unlock()
 	}

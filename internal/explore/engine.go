@@ -81,6 +81,13 @@ type Engine struct {
 	// lifecycle, checkpoint writes/restores, violations at Info; frontier
 	// donations and dedup prunes at Debug.
 	Events *obs.Log
+	// LeaseSize is the number of executions a worker reserves from the cap
+	// in one batch (default DefaultLeaseSize). The lease is the engine's
+	// shared-state amortization unit: workers touch the shared execution
+	// counter, the frontier slot publish, and the maxima merge once per
+	// lease instead of once per leaf. Larger leases cut cross-core traffic
+	// further but make mid-run progress and checkpoint counters staler.
+	LeaseSize int
 	// Tracer, when non-nil, captures executions as durable trace artifacts:
 	// every violation (up to MaxViolationCaptures) and a 1-in-N sample of
 	// passing runs are written as trace/v1 + Perfetto files, and the
@@ -116,12 +123,16 @@ type Progress struct {
 	DepthP99 float64
 }
 
+// DefaultLeaseSize is the per-worker execution-cap lease (Engine.LeaseSize).
+const DefaultLeaseSize = 64
+
 // runMetrics is the registry-backed counter set of one engine run. The
-// execution counter doubles as the cap reservation (claim/release via
-// CompareAndSwap and negative Add), so the metric the registry exposes and
-// the number the engine enforces its cap against are one and the same.
+// execution counter is advanced in per-lease batches from each worker's
+// local tally (the cap itself is enforced by the capPool ledger), so the
+// registry sees exact totals at every lease boundary without a shared
+// counter bounce on every replay.
 type runMetrics struct {
-	execs      *obs.Counter // completed replays (claims minus dedup releases)
+	execs      *obs.Counter // completed replays (flushed per lease)
 	restored   *obs.Counter // executions primed from a resumed checkpoint
 	violations *obs.Counter
 	prunes     *obs.Counter // replays halted at an already-covered state
@@ -170,6 +181,8 @@ type engineRun struct {
 	cap         int
 	stopOnFirst bool
 	lowWater    int
+	leaseSize   int64
+	pool        *capPool
 	fr          *frontier
 	set         *dedup.Set   // nil without dedup
 	st          *store.Store // nil without checkpointing
@@ -226,12 +239,17 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	leaseSize := int64(e.LeaseSize)
+	if leaseSize <= 0 {
+		leaseSize = DefaultLeaseSize
+	}
 	r := &engineRun{
 		cfg:         cfg,
 		kind:        kind,
 		cap:         cap,
 		stopOnFirst: !e.Exhaustive,
 		lowWater:    2 * workers,
+		leaseSize:   leaseSize,
 		st:          e.Store,
 		tr:          e.Tracer,
 		start:       time.Now(),
@@ -261,6 +279,13 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 			resumed = true
 		}
 	}
+	// The cap ledger: what this process may still execute is the cap minus
+	// whatever a resumed checkpoint already accounts for.
+	capacity := int64(cap) - (r.m.execs.Load() - r.base.execs)
+	if capacity < 0 {
+		capacity = 0
+	}
+	r.pool = newCapPool(capacity)
 	r.fr = newFrontier(tasks, workers)
 	reg.Func("explore.frontier.pending", func() int64 { return int64(r.fr.pending()) })
 	for _, t := range tasks {
@@ -270,11 +295,13 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 		"workers": workers, "cap": cap, "dedup": e.Dedup,
 		"checkpoint": r.st != nil, "resumed": resumed, "tasks": len(tasks),
 	})
-	// pop blocks on a condition variable, not on ctx: translate
-	// cancellation into a frontier abort so waiting workers wake up.
+	// pop and acquire block on condition variables, not on ctx: translate
+	// cancellation into frontier and cap-pool aborts so waiting workers
+	// wake up.
 	go func() {
 		<-ctx.Done()
 		r.fr.abort()
+		r.pool.abort()
 	}()
 
 	stopProgress := e.startProgress(r)
@@ -404,10 +431,136 @@ type dedupHandle struct {
 	prunedAt int
 }
 
+// capPool is the execution-cap ledger: workers lease batches of executions
+// instead of CAS-ing a shared counter per replay. Its invariant is
+//
+//	remaining + outstanding + consumed == capacity
+//
+// where consumed is the sum of all settled used counts. acquire returns
+// (0, true) only on true exhaustion — remaining and outstanding both zero,
+// so exactly capacity executions completed — which is what lets the engine
+// latch `capped` without the old claim/release race: a dedup-pruned replay
+// never touches the pool (its unit stays in the worker's lease), so the cap
+// can no longer latch spuriously while the final count is under the cap.
+type capPool struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	remaining   int64 // units not yet leased
+	outstanding int64 // units leased to workers, not yet settled
+	aborted     bool
+}
+
+func newCapPool(capacity int64) *capPool {
+	p := &capPool{remaining: capacity}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// acquire leases up to max execution units. When the pool is drained but
+// other workers still hold unsettled units, it blocks — those units may
+// return (a worker's subtree can end before its lease is spent). This
+// cannot deadlock: a worker only blocks here with zero unsettled units of
+// its own (it settles before acquiring), so outstanding > 0 implies some
+// worker is actively replaying and will settle. Returns (n>0, true) on
+// success, (0, true) on exhaustion, (0, false) on abort.
+func (p *capPool) acquire(max int64) (int64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.aborted {
+			return 0, false
+		}
+		if p.remaining > 0 {
+			n := min(max, p.remaining)
+			p.remaining -= n
+			p.outstanding += n
+			return n, true
+		}
+		if p.outstanding == 0 {
+			return 0, true
+		}
+		p.cond.Wait()
+	}
+}
+
+// settle returns a lease to the ledger: used units are consumed for good,
+// unused units go back to remaining for other workers to lease.
+func (p *capPool) settle(used, unused int64) {
+	if used == 0 && unused == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.remaining += unused
+	p.outstanding -= used + unused
+	if p.remaining > 0 || p.outstanding == 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// abort wakes all blocked acquirers; the exploration is being cancelled.
+func (p *capPool) abort() {
+	p.mu.Lock()
+	p.aborted = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// workerLease is one worker's current slice of the execution cap: avail
+// units may still be spent, used units are spent but not yet flushed to the
+// shared counters.
+type workerLease struct {
+	avail int64
+	used  int64
+}
+
+// flush publishes a worker's locally tallied executions to the shared
+// metric counters and settles them with the cap pool. releaseUnused
+// additionally returns the lease's unspent units (task exit: the worker is
+// about to block on the frontier and must not sit on capacity other workers
+// could spend). Flushing per lease instead of per leaf is what keeps the
+// shared counters off the replay hot path; per-worker counters and the
+// total advance in the same batch, so the report schema's worker-sum
+// invariant (Σ worker executions + restored == total) holds at every flush
+// boundary — in particular in every final report, even after cancellation
+// mid-lease.
+func (r *engineRun) flush(w int, l *workerLease, releaseUnused bool) {
+	if l.used > 0 {
+		r.m.execs.Add(l.used)
+		r.m.workerExecs[w].Add(l.used)
+	}
+	var unused int64
+	if releaseUnused {
+		unused, l.avail = l.avail, 0
+	}
+	r.pool.settle(l.used, unused)
+	l.used = 0
+}
+
+// mergeMaxima folds a worker's local step/fault maxima into the shared
+// outcome. Called per lease boundary and at task exit, not per leaf.
+func (r *engineRun) mergeMaxima(localSteps, localFaults int) {
+	if localSteps == 0 && localFaults == 0 {
+		return
+	}
+	r.mu.Lock()
+	if localSteps > r.maxSteps {
+		r.maxSteps = localSteps
+	}
+	if localFaults > r.maxFaults {
+		r.maxFaults = localFaults
+	}
+	r.mu.Unlock()
+}
+
 // worker pops subtree tasks and enumerates them until the frontier drains.
 // A task that could not be finished (cancellation, execution cap, error)
 // stays in the worker's frontier slot so the final checkpoint preserves it;
 // the worker then exits rather than claim further tasks it cannot finish.
+//
+// The replay machinery (chooser, execState with its arena, dedup tracker)
+// is per-worker and lives for the worker's whole run — replays allocate
+// nothing on their hot path.
 func (r *engineRun) worker(ctx context.Context, w int) {
 	var dh *dedupHandle
 	if r.set != nil {
@@ -416,6 +569,10 @@ func (r *engineRun) worker(ctx context.Context, w int) {
 			tracker: dedup.NewTracker(r.cfg.Protocol.Objects(), r.cfg.Inputs, true),
 		}
 	}
+	c := &chooser{}
+	es := newExecState(r.cfg, r.kind, c, dh)
+	defer es.close()
+	var l workerLease
 	for {
 		idleStart := time.Now()
 		t, ok := r.fr.pop(w)
@@ -425,11 +582,14 @@ func (r *engineRun) worker(ctx context.Context, w int) {
 		}
 		r.m.steals.Inc()
 		r.m.workerSteals[w].Inc()
-		if !r.runSubtree(ctx, w, t, dh) {
-			r.fr.done(w, false)
+		finished := r.runSubtree(ctx, w, t, es, &l)
+		// Settle before blocking on the frontier (or exiting): a worker
+		// waiting for work must not sit on leased capacity.
+		r.flush(w, &l, true)
+		r.fr.done(w, finished)
+		if !finished {
 			return
 		}
-		r.fr.done(w, true)
 	}
 }
 
@@ -438,8 +598,19 @@ func (r *engineRun) worker(ctx context.Context, w int) {
 // task was finished: fully enumerated, or abandoned because no leaf below it
 // can improve the canonical counterexample (bound pruning) or because its
 // root state was already covered by a smaller path (dedup).
-func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHandle) bool {
-	c := &chooser{path: t.path, lb: t.floor}
+//
+// Shared state is touched once per lease, not once per leaf: the cap pool,
+// the metric counters, the frontier slot publish, and the maxima merge all
+// amortize over LeaseSize replays. The slot path is therefore up to a lease
+// stale, which is safe — a stale path lexicographically precedes the true
+// position, so a checkpoint taken between publishes covers a superset of
+// the remaining work (see docs/MODEL.md, "Performance model").
+func (r *engineRun) runSubtree(ctx context.Context, w int, t task, es *execState, l *workerLease) bool {
+	c := es.c
+	c.path = append(c.path[:0], t.path...)
+	c.arity = c.arity[:0]
+	c.pos = 0
+	c.lb = t.floor
 	var localSteps, localFaults int
 	var taskExecs int64
 	spanStart := r.tr.Recorder().Begin()
@@ -447,14 +618,7 @@ func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHand
 		r.tr.Recorder().End("task", "worker", w, -1, spanStart, map[string]any{
 			"root_depth": len(t.path), "executions": taskExecs,
 		})
-		r.mu.Lock()
-		if localSteps > r.maxSteps {
-			r.maxSteps = localSteps
-		}
-		if localFaults > r.maxFaults {
-			r.maxFaults = localFaults
-		}
-		r.mu.Unlock()
+		r.mergeMaxima(localSteps, localFaults)
 	}()
 
 	for {
@@ -467,39 +631,58 @@ func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHand
 			// only contain larger counterexamples.
 			return true
 		}
-		if !r.claim(w) {
-			return false
+		if l.avail == 0 {
+			// Lease boundary: reconcile the spent lease, refresh the
+			// slot's resume point, fold the maxima, and reserve the next
+			// batch.
+			r.flush(w, l, false)
+			r.fr.publish(w, c.path, c.lb)
+			r.mergeMaxima(localSteps, localFaults)
+			n, ok := r.pool.acquire(r.leaseSize)
+			if !ok {
+				return false // cancelled; the slot keeps the task
+			}
+			if n == 0 {
+				// True exhaustion: exactly cap executions completed.
+				r.capped.Store(true)
+				return false
+			}
+			l.avail = n
 		}
-		r.fr.publish(w, c.path, c.lb)
 		c.arity = c.arity[:0]
 		c.pos = 0
-		ce, verdict, stats, err := runOnce(ctx, r.cfg, r.kind, c, dh)
+		verdict, stats, pruned, err := es.runLeaf(ctx)
 		if err != nil {
 			if ctx.Err() == nil {
 				r.fail(err)
 			}
 			return false
 		}
-		if dh != nil && dh.prunedAt >= 0 {
+		if r.set != nil {
+			r.set.LeafLookup()
+		}
+		if pruned {
 			// The replay reached a state some lex-smaller path already
 			// covers: the subtree below the pruned prefix is redundant.
-			// The claim is released — Executions counts completed replays.
-			r.m.execs.Add(-1)
-			r.m.workerExecs[w].Add(-1)
+			// No cap unit was spent — Executions counts completed
+			// replays, and the pruned replay's unit stays in the lease.
 			r.m.prunes.Inc()
+			r.set.ExecutionSaved()
 			r.ev.Emit(obs.Debug, "dedup.prune", map[string]any{
-				"worker": w, "pos": dh.prunedAt,
+				"worker": w, "pos": es.dh.prunedAt,
 			})
-			if dh.prunedAt <= c.lb {
+			if es.dh.prunedAt <= c.lb {
 				return true // the whole task is covered elsewhere
 			}
-			c.path = c.path[:dh.prunedAt]
-			c.arity = c.arity[:dh.prunedAt]
+			c.path = c.path[:es.dh.prunedAt]
+			c.arity = c.arity[:es.dh.prunedAt]
 			if !c.next() {
 				return true
 			}
 			continue
 		}
+		l.avail--
+		l.used++
 		taskExecs++
 		if stats.maxSteps > localSteps {
 			localSteps = stats.maxSteps
@@ -508,56 +691,37 @@ func (r *engineRun) runSubtree(ctx context.Context, w int, t task, dh *dedupHand
 			localFaults = stats.faults
 		}
 		if !verdict.OK() {
-			r.recordViolation(w, ce, c.path)
+			ce := es.counterexample(verdict)
+			r.recordViolation(w, ce)
 			if r.tr != nil {
-				if err := r.tr.captureViolation(w, c.path, ce); err != nil {
+				if err := r.tr.captureViolation(w, ce.Path, ce); err != nil {
 					r.fail(fmt.Errorf("explore: trace capture: %w", err))
 					return false
 				}
 			}
 		} else if r.tr.sampleHit() {
-			if err := r.tr.captureSample(w, c.path, ce); err != nil {
+			ce := es.counterexample(verdict)
+			if err := r.tr.captureSample(w, ce.Path, ce); err != nil {
 				r.fail(fmt.Errorf("explore: trace capture: %w", err))
 				return false
 			}
 		}
 		if r.fr.starving(r.lowWater) {
-			if alts := c.donate(); alts != nil {
+			if p, floor, ok := c.donate(); ok {
 				// donate raised the chooser's floor past the donated
-				// subtrees; push before the next publish so a snapshot
-				// between the two covers the donations twice, never zero
+				// subtree; push before the next publish so a snapshot
+				// between the two covers the donation twice, never zero
 				// times.
-				ts := make([]task, len(alts))
-				for i, p := range alts {
-					ts[i] = task{path: p, floor: len(p)}
-					r.m.depth.Observe(float64(len(p)))
-				}
-				r.m.donations.Add(int64(len(ts)))
+				r.m.depth.Observe(float64(len(p)))
+				r.m.donations.Inc()
 				r.ev.Emit(obs.Debug, "frontier.donate", map[string]any{
-					"worker": w, "tasks": len(ts), "depth": len(alts[0]),
+					"worker": w, "tasks": 1, "depth": len(p),
 				})
-				r.fr.push(ts)
+				r.fr.push([]task{{path: p, floor: floor}})
+				r.fr.publish(w, c.path, c.lb)
 			}
 		}
 		if !c.next() {
-			return true
-		}
-	}
-}
-
-// claim reserves one execution against the cap, attributing it to worker
-// w. Per-worker counters mirror every claim and release exactly, so at any
-// instant the worker counters plus the restored count sum to the total —
-// the invariant the report schema validates.
-func (r *engineRun) claim(w int) bool {
-	for {
-		cur := r.m.execs.Load()
-		if cur-r.base.execs >= int64(r.cap) {
-			r.capped.Store(true)
-			return false
-		}
-		if r.m.execs.CompareAndSwap(cur, cur+1) {
-			r.m.workerExecs[w].Inc()
 			return true
 		}
 	}
@@ -587,9 +751,10 @@ func lexGE(path, leaf []int) bool {
 
 // recordViolation merges one violating execution into the shared outcome,
 // keeping the canonical counterexample and tightening the pruning bound.
-func (r *engineRun) recordViolation(w int, ce *Counterexample, path []int) {
-	p := append([]int(nil), path...)
-	ce.Path = p
+// ce must be self-contained (execState.counterexample): it is retained
+// beyond the replay that produced it.
+func (r *engineRun) recordViolation(w int, ce *Counterexample) {
+	p := ce.Path
 	r.m.violations.Inc()
 
 	r.mu.Lock()

@@ -28,6 +28,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/trace"
+	"repro/internal/word"
 )
 
 // Config describes the space of executions to explore.
@@ -171,34 +172,35 @@ func (c *chooser) next() bool {
 	return true
 }
 
-// donate carves off the untaken alternatives at the shallowest branch point
-// at or above the backtracking floor and returns them as subtree-root
-// prefixes, excluding them from this chooser's own enumeration. It returns
-// nil when the remaining subtree has no branch point to split. This is the
+// donate carves off every untaken alternative at the shallowest branch point
+// at or above the backtracking floor and returns them as ONE subtree task
+// (path = the next untaken alternative, floor = the branch position, so the
+// recipient's own backtracking enumerates the remaining alternatives),
+// excluding them from this chooser's enumeration. It returns ok=false when
+// the remaining subtree has no branch point to split. This is the
 // work-sharing primitive of the parallel engine, applied shallowest-first so
-// a donation is the largest subtree the worker can give away.
+// a donation is the largest subtree the worker can give away; consolidating
+// the alternatives into one task (rather than one task per alternative)
+// keeps donated subtrees big enough to amortize the recipient's cap lease
+// and publish cadence.
 //
 // donate must be called right after a replay, while the recorded arities
 // describe the current path. Because d is the shallowest branch point with
 // untaken alternatives, every position above it is exhausted for good (the
 // tree is deterministic), so raising the floor past d excludes exactly the
-// donated subtrees from this worker's future backtracking.
-func (c *chooser) donate() [][]int {
+// donated subtree from this worker's future backtracking.
+func (c *chooser) donate() (path []int, floor int, ok bool) {
 	for d := c.lb; d < len(c.arity) && d < len(c.path); d++ {
 		if c.path[d]+1 >= c.arity[d] {
 			continue
 		}
-		alts := make([][]int, 0, c.arity[d]-c.path[d]-1)
-		for alt := c.path[d] + 1; alt < c.arity[d]; alt++ {
-			p := make([]int, d+1)
-			copy(p, c.path[:d])
-			p[d] = alt
-			alts = append(alts, p)
-		}
+		p := make([]int, d+1)
+		copy(p, c.path[:d])
+		p[d] = c.path[d] + 1
 		c.lb = d + 1
-		return alts
+		return p, d, true
 	}
-	return nil
+	return nil, 0, false
 }
 
 // observable reports whether injecting the fault kind on this invocation
@@ -323,10 +325,12 @@ func Check(cfg Config) (*Outcome, error) {
 
 	out := &Outcome{Workers: 1}
 	c := &chooser{}
+	es := newExecState(cfg, kind, c, nil)
+	defer es.close()
 	for out.Executions < cap {
 		c.arity = c.arity[:0]
 		c.pos = 0
-		ce, verdict, stats, err := runOnce(context.Background(), cfg, kind, c, nil)
+		verdict, stats, _, err := es.runLeaf(context.Background())
 		if err != nil {
 			return nil, err
 		}
@@ -338,8 +342,7 @@ func Check(cfg Config) (*Outcome, error) {
 			out.MaxFaults = stats.faults
 		}
 		if !verdict.OK() {
-			ce.Path = append([]int(nil), c.path...)
-			out.Violation = ce
+			out.Violation = es.counterexample(verdict)
 			return out, nil
 		}
 		if !c.next() {
@@ -355,89 +358,142 @@ type runStats struct {
 	faults   int
 }
 
-// runOnce replays one execution along the chooser's path. dh, when non-nil,
-// enables state deduplication: the simulator feeds every event to the
-// worker's canonical-state tracker, and before consuming each scheduling
-// decision the state fingerprint is checked against the shared set — a
-// state already reached by a lexicographically smaller path halts the
-// replay (dh.prunedAt records where) and the caller skips its subtree.
-func runOnce(ctx context.Context, cfg Config, kind fault.Kind, c *chooser, dh *dedupHandle) (*Counterexample, run.Verdict, runStats, error) {
-	budget := fault.NewFixedBudget(cfg.FaultyObjects, cfg.FaultsPerObject)
+// execState is the reusable replay machinery of one enumeration loop (one
+// sequential Check, or one engine worker): the fault budget, the object
+// bank, the simulator arena with its pre-bound programs, the trace log, the
+// schedule buffer, and the verdict evaluator. All of it is allocated once
+// and reset per leaf — replaying a leaf used to allocate ~84 objects
+// (closures, bank, channels, goroutines, slices); at millions of leaves the
+// allocator and scheduler churn dominated the engine's profile and made
+// worker scaling negative.
+type execState struct {
+	cfg  Config
+	kind fault.Kind
+	c    *chooser
+	dh   *dedupHandle // nil without dedup
+
+	budget   *fault.Budget
+	bank     *object.Bank
+	arena    *sim.Arena
+	log      *trace.Log
+	schedule []int
+	eval     *run.Evaluator
+	simCfg   sim.Config
+}
+
+// newExecState builds the replay machinery for one enumeration loop driven
+// by the given chooser. Callers must close it to release the arena's
+// goroutines.
+func newExecState(cfg Config, kind fault.Kind, c *chooser, dh *dedupHandle) *execState {
+	es := &execState{cfg: cfg, kind: kind, c: c, dh: dh}
+	es.budget = fault.NewFixedBudget(cfg.FaultyObjects, cfg.FaultsPerObject)
 	policy := cfg.FixedPolicy
 	if policy == nil {
 		policy = fault.PolicyFunc(func(op fault.Op) fault.Proposal {
-			if !budget.Admits(op.Object) || !observable(kind, op) {
+			if !es.budget.Admits(op.Object) || !observable(es.kind, op) {
 				return fault.NoFault
 			}
-			if c.choose(2) == 1 {
-				return fault.Proposal{Kind: kind}
+			if es.c.choose(2) == 1 {
+				return fault.Proposal{Kind: es.kind}
 			}
 			return fault.NoFault
 		})
 	}
-
-	bank := object.NewBank(cfg.Protocol.Objects(), budget, policy)
-
-	var observer func(trace.Event)
-	if dh != nil {
-		dh.prunedAt = -1
-		dh.tracker.Reset()
-		observer = dh.tracker.Observe
-	}
-
-	var schedule []int
-	sched := sim.SchedulerFunc(func(enabled []int) (int, bool) {
-		if dh != nil && dh.set.Visit(dh.tracker.Fingerprint(), c.path[:c.pos]) == dedup.Prune {
-			dh.prunedAt = c.pos
-			return 0, false
-		}
-		pick := enabled[0]
-		if len(enabled) > 1 {
-			pick = enabled[c.choose(len(enabled))]
-		}
-		schedule = append(schedule, pick)
-		return pick, true
-	})
+	es.bank = object.NewBank(cfg.Protocol.Objects(), es.budget, policy)
+	es.arena = sim.NewArena(len(cfg.Inputs))
+	es.log = trace.New()
+	es.eval = run.NewEvaluator(cfg.Inputs)
 
 	limit := cfg.StepLimit
 	if limit <= 0 {
 		limit = cfg.Protocol.StepBound(len(cfg.Inputs))
 	}
-	log := trace.New()
-	res, err := sim.RunContext(ctx, sim.Config{
-		Programs:  run.Programs(cfg.Protocol, bank, cfg.Inputs),
-		Scheduler: sched,
+	var observer func(trace.Event)
+	if dh != nil {
+		observer = dh.tracker.Observe
+	}
+	es.simCfg = sim.Config{
+		Programs:  run.BoundPrograms(cfg.Protocol, es.bank, cfg.Inputs, es.arena.Procs()),
+		Scheduler: sim.SchedulerFunc(es.schedNext),
 		StepLimit: limit,
-		Log:       log,
+		Log:       es.log,
 		Observer:  observer,
-	})
+	}
+	return es
+}
+
+// schedNext is the replay scheduler: it consults the dedup set (when on)
+// before consuming each scheduling decision, then follows the choice path.
+func (es *execState) schedNext(enabled []int) (int, bool) {
+	c := es.c
+	if es.dh != nil && es.dh.set.Visit(es.dh.tracker.Fingerprint(), c.path[:c.pos]) == dedup.Prune {
+		es.dh.prunedAt = c.pos
+		return 0, false
+	}
+	pick := enabled[0]
+	if len(enabled) > 1 {
+		pick = enabled[c.choose(len(enabled))]
+	}
+	es.schedule = append(es.schedule, pick)
+	return pick, true
+}
+
+// close releases the arena's process goroutines.
+func (es *execState) close() { es.arena.Close() }
+
+// runLeaf replays one execution along the chooser's path, reusing the
+// execState's machinery. When dedup is on and the replay reaches a state
+// already claimed by a lexicographically smaller path, it halts early and
+// reports pruned=true (es.dh.prunedAt records where); the replay is then
+// neither evaluated nor counted — any violation visible in the halted
+// prefix also appears below the stored smaller path.
+//
+// The returned verdict borrows slices owned by the arena and the execState;
+// callers retaining a leaf (violations, trace samples) must go through
+// counterexample, which clones everything.
+func (es *execState) runLeaf(ctx context.Context) (run.Verdict, runStats, bool, error) {
+	es.budget.Reset()
+	es.bank.Reset()
+	es.log.Reset()
+	es.schedule = es.schedule[:0]
+	if es.dh != nil {
+		es.dh.prunedAt = -1
+		es.dh.tracker.Reset()
+	}
+
+	res, err := es.arena.Run(ctx, es.simCfg)
 	if err != nil && res == nil {
-		return nil, run.Verdict{}, runStats{}, err
+		return run.Verdict{}, runStats{}, false, err
 	}
 	if err != nil && !errors.Is(err, sim.ErrWaitFreedom) {
 		// Cancellation (or any future partial-result condition): the
 		// truncated execution must not be evaluated as if it completed.
-		return nil, run.Verdict{}, runStats{}, err
+		return run.Verdict{}, runStats{}, false, err
 	}
-	if dh != nil && dh.prunedAt >= 0 {
-		// Deduplicated: the replay halted at an already-covered state.
-		// Not evaluated and not counted — any violation visible in the
-		// halted prefix also appears below the stored smaller path.
-		return nil, run.Verdict{}, runStats{}, nil
+	if es.dh != nil && es.dh.prunedAt >= 0 {
+		return run.Verdict{}, runStats{}, true, nil
 	}
 
-	stats := runStats{faults: budget.TotalFaults()}
+	stats := runStats{faults: es.budget.TotalFaults()}
 	for _, s := range res.Steps {
 		if s > stats.maxSteps {
 			stats.maxSteps = s
 		}
 	}
-	verdict := run.Evaluate(cfg.Inputs, res, err)
-	ce := &Counterexample{
-		Schedule: schedule,
+	return es.eval.Evaluate(res, err), stats, false, nil
+}
+
+// counterexample snapshots the most recent runLeaf as a self-contained
+// Counterexample: the path, schedule, trace, and verdict slices are cloned,
+// so the record stays valid while the execState keeps replaying.
+func (es *execState) counterexample(verdict run.Verdict) *Counterexample {
+	verdict.Decisions = append([]word.Word(nil), verdict.Decisions...)
+	verdict.Decided = append([]bool(nil), verdict.Decided...)
+	return &Counterexample{
+		Path:     append([]int(nil), es.c.path...),
+		Schedule: append([]int(nil), es.schedule...),
 		Verdict:  verdict,
-		Trace:    log,
-		Inputs:   cfg.Inputs,
+		Trace:    es.log.Clone(),
+		Inputs:   es.cfg.Inputs,
 	}
-	return ce, verdict, stats, nil
 }

@@ -6,10 +6,14 @@ import (
 )
 
 // task is one unexplored region of the execution tree: the subtree rooted at
-// path, enumerated with backtracking floor `floor`. A freshly donated
-// subtree has floor == len(path); a task checkpointed mid-enumeration keeps
-// the worker's current leaf as path with the original floor, so resuming it
-// revisits exactly the leaves the worker had not finished.
+// path, enumerated with backtracking floor `floor`. A freshly donated task
+// has floor == len(path)-1: it starts at the donor's next untaken
+// alternative and its own backtracking at the floor position enumerates the
+// remaining alternatives of that branch point (one consolidated task per
+// donation, so donated subtrees stay large). A task checkpointed
+// mid-enumeration keeps the worker's current position as path with the
+// original floor, so resuming it revisits the leaves the worker had not
+// finished.
 type task struct {
 	path  []int
 	floor int

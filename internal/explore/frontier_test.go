@@ -8,18 +8,18 @@ import (
 )
 
 // TestChooserDonateLastOpenBranch: when the only branch point with untaken
-// alternatives is carved off, the donor must hand over exactly those
-// alternatives and then have nothing left to backtrack into — donating the
-// last open branch ends the donor's own enumeration after the current path.
+// alternatives is carved off, the donor must hand over ONE consolidated task
+// covering all of those alternatives and then have nothing left to backtrack
+// into — donating the last open branch ends the donor's own enumeration
+// after the current path.
 func TestChooserDonateLastOpenBranch(t *testing.T) {
 	// Depth 0 is the single open branch point (choice 0 of arity 3);
 	// depths 1 and 2 are exhausted.
 	c := &chooser{path: []int{0, 1, 1}, arity: []int{3, 2, 2}, pos: 3}
 
-	alts := c.donate()
-	want := [][]int{{1}, {2}}
-	if !reflect.DeepEqual(alts, want) {
-		t.Fatalf("donate() = %v, want %v", alts, want)
+	p, floor, ok := c.donate()
+	if !ok || !reflect.DeepEqual(p, []int{1}) || floor != 0 {
+		t.Fatalf("donate() = %v, %d, %v, want [1], 0, true", p, floor, ok)
 	}
 	if c.lb != 1 {
 		t.Fatalf("donation must raise the floor past the donated branch: lb = %d, want 1", c.lb)
@@ -28,8 +28,20 @@ func TestChooserDonateLastOpenBranch(t *testing.T) {
 		t.Fatalf("donor backtracked to %v after donating its last open branch", c.path)
 	}
 	// Nothing further to give away either.
-	if again := c.donate(); again != nil {
-		t.Fatalf("second donate() = %v, want nil", again)
+	if p, _, ok := c.donate(); ok {
+		t.Fatalf("second donate() = %v, want none", p)
+	}
+
+	// The donated task enumerates the REMAINING alternatives itself: a
+	// recipient chooser seeded with (path, floor) and the same arity
+	// advances from alternative 1 to alternative 2, then exhausts.
+	rc := &chooser{path: append(p, 1), arity: []int{3, 2}, pos: 2, lb: floor}
+	if !rc.next() || !reflect.DeepEqual(rc.path, []int{2}) {
+		t.Fatalf("recipient next() -> %v, want [2]", rc.path)
+	}
+	rc.arity = rc.arity[:1]
+	if rc.next() {
+		t.Fatalf("recipient backtracked past its floor to %v", rc.path)
 	}
 }
 
@@ -37,8 +49,8 @@ func TestChooserDonateLastOpenBranch(t *testing.T) {
 // exhausted donates nothing and leaves its floor untouched.
 func TestChooserDonateNothingOpen(t *testing.T) {
 	c := &chooser{path: []int{1, 1}, arity: []int{2, 2}, pos: 2}
-	if alts := c.donate(); alts != nil {
-		t.Fatalf("donate() = %v, want nil", alts)
+	if p, _, ok := c.donate(); ok {
+		t.Fatalf("donate() = %v, want none", p)
 	}
 	if c.lb != 0 {
 		t.Fatalf("failed donation moved the floor to %d", c.lb)

@@ -25,11 +25,11 @@ func Replay(cfg Config, path []int) (*Counterexample, error) {
 		kind = fault.Overriding
 	}
 	c := &chooser{path: append([]int(nil), path...)}
-	ce, verdict, _, err := runOnce(context.Background(), cfg, kind, c, nil)
+	es := newExecState(cfg, kind, c, nil)
+	defer es.close()
+	verdict, _, _, err := es.runLeaf(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	ce.Path = append([]int(nil), c.path...)
-	ce.Verdict = verdict
-	return ce, nil
+	return es.counterexample(verdict), nil
 }

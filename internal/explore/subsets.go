@@ -91,10 +91,12 @@ func FindMinimal(cfg Config) (*Counterexample, *Outcome, error) {
 	out := &Outcome{Workers: 1}
 	var best *Counterexample
 	c := &chooser{}
+	es := newExecState(cfg, kind, c, nil)
+	defer es.close()
 	for out.Executions < cap {
 		c.arity = c.arity[:0]
 		c.pos = 0
-		ce, verdict, stats, err := runOnce(context.Background(), cfg, kind, c, nil)
+		verdict, stats, _, err := es.runLeaf(context.Background())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -106,7 +108,7 @@ func FindMinimal(cfg Config) (*Counterexample, *Outcome, error) {
 			out.MaxFaults = stats.faults
 		}
 		if !verdict.OK() {
-			ce.Path = append([]int(nil), c.path...)
+			ce := es.counterexample(verdict)
 			if best == nil || len(ce.Schedule) < len(best.Schedule) {
 				best = ce
 			}

@@ -167,6 +167,20 @@ func (b *Budget) MaxFaultyObjects() int { return b.f }
 // FaultsPerObject returns the t parameter (Unbounded for t = ∞).
 func (b *Budget) FaultsPerObject() int { return b.t }
 
+// Reset discharges all recorded faults, returning the budget to its pristine
+// state: a fixed faulty set keeps its members at zero charges, a lazy set
+// forgets the discovered objects. Replay loops reuse one budget this way
+// instead of cloning per execution.
+func (b *Budget) Reset() {
+	if b.fixed {
+		for id := range b.faulty {
+			b.faulty[id] = 0
+		}
+		return
+	}
+	clear(b.faulty)
+}
+
 // Clone returns an independent copy of the budget, used by the model checker
 // to replay executions from a pristine state.
 func (b *Budget) Clone() *Budget {

@@ -30,6 +30,26 @@ func Programs(proto core.Protocol, bank Bank, inputs []int64) []sim.Program {
 	return progs
 }
 
+// BoundPrograms builds one program per input value with the object
+// environment pre-bound to the arena's stable process handles, so repeated
+// replays do not allocate a binding per program invocation. The returned
+// programs are tied to those handles: they must only run on the arena that
+// produced procs (procs[i] is the handle the arena passes to program i).
+func BoundPrograms(proto core.Protocol, bank Bank, inputs []int64, procs []*sim.Proc) []sim.Program {
+	if len(procs) != len(inputs) {
+		panic(fmt.Sprintf("run: %d process handles for %d inputs", len(procs), len(inputs)))
+	}
+	progs := make([]sim.Program, len(inputs))
+	for i, input := range inputs {
+		input := input
+		env := bank.Bind(procs[i])
+		progs[i] = func(*sim.Proc) word.Word {
+			return word.FromValue(proto.Decide(env, input))
+		}
+	}
+	return progs
+}
+
 // Config describes one simulated consensus execution.
 //
 // Deprecated: new code should describe executions with the unified

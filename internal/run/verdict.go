@@ -63,6 +63,22 @@ func (v Verdict) String() string {
 	return fmt.Sprintf("VIOLATION(%s): %s", v.Violation, v.Detail)
 }
 
+// An Evaluator judges executions of one fixed input vector. It precomputes
+// the input set once, so replay loops evaluating millions of executions do
+// not rebuild the map per leaf.
+type Evaluator struct {
+	inputSet map[int64]bool
+}
+
+// NewEvaluator returns an evaluator for the given inputs.
+func NewEvaluator(inputs []int64) *Evaluator {
+	set := make(map[int64]bool, len(inputs))
+	for _, in := range inputs {
+		set[in] = true
+	}
+	return &Evaluator{inputSet: set}
+}
+
 // Evaluate checks the consensus requirements over a completed simulation.
 //
 // Validity and consistency are judged over the processes that decided; an
@@ -71,17 +87,22 @@ func (v Verdict) String() string {
 // Wait-freedom is judged only for executions that ran to completion: a
 // process that neither decided nor was abandoned — i.e. it stalled or
 // exceeded its step bound — is a wait-freedom violation.
+//
+// The returned Verdict aliases res.Decisions and res.Decided. When res is a
+// reused arena result, callers retaining the verdict must clone those slices.
 func Evaluate(inputs []int64, res *sim.Result, runErr error) Verdict {
+	return NewEvaluator(inputs).Evaluate(res, runErr)
+}
+
+// Evaluate judges one execution; see the package-level Evaluate for the
+// semantics and the aliasing caveat.
+func (ev *Evaluator) Evaluate(res *sim.Result, runErr error) Verdict {
 	v := Verdict{
 		Decisions: res.Decisions,
 		Decided:   res.Decided,
 		Stopped:   res.Stopped,
 	}
-
-	inputSet := make(map[int64]bool, len(inputs))
-	for _, in := range inputs {
-		inputSet[in] = true
-	}
+	inputSet := ev.inputSet
 
 	first := true
 	for i, ok := range res.Decided {

@@ -103,6 +103,16 @@ func (l *Log) Append(e Event) {
 // is owned by the log and must not be modified.
 func (l *Log) Events() []Event { return l.events }
 
+// Reset empties the log, retaining its capacity so replay loops can reuse
+// one allocation across executions.
+func (l *Log) Reset() { l.events = l.events[:0] }
+
+// Clone returns an independent copy of the log. Counterexamples retain it,
+// while the original keeps being reset and reused by the replay loop.
+func (l *Log) Clone() *Log {
+	return &Log{events: append([]Event(nil), l.events...)}
+}
+
 // Len returns the number of recorded events.
 func (l *Log) Len() int { return len(l.events) }
 

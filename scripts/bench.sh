@@ -5,7 +5,12 @@
 # counts, the sequential baseline, and the state-dedup sweep) and renders
 # the standard `go test -bench` output as BENCH_explore.json: ns/op,
 # states-per-second throughput, executions per verification, and the dedup
-# hit rate, plus a derived summary of the dedup states-explored reduction.
+# hit rate (hits over per-replay leaf lookups), plus derived summaries: the
+# dedup states-explored reduction and a "scaling" block giving ns/op at
+# workers=1/2/4/8 with the workers=8 speedup and parallel efficiency
+# (speedup / 8). On a single-core box the honest efficiency ceiling is
+# 1/8 = 0.125; the block exists so the trajectory shows whether adding
+# workers ever makes the same slab SLOWER (the negative-scaling bug).
 #
 # A second, dedicated pass measures the tracing overhead: the traced and
 # untraced covering sweeps run interleaved for TRACE_COUNT repetitions and
@@ -67,6 +72,11 @@ awk -v benchtime="$BENCHTIME" '
 			if (name ~ /dedup=false/ && unit == "executions") plain = val
 			if (name ~ /dedup=true/ && unit == "executions") dedup = val
 		}
+		if (unit == "ns/op" && name ~ /^EngineCoveringSweep\/workers=/) {
+			w = name
+			sub(/^EngineCoveringSweep\/workers=/, "", w)
+			ns[w + 0] = val
+		}
 	}
 	rows[++n] = line "}"
 }
@@ -79,7 +89,11 @@ END {
 	print "  \"benchtime\": \"" benchtime "\","
 	print "  \"benchmarks\": ["
 	for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "")
-	print "  ]" (plain && dedup ? "," : "")
+	print "  ]" (((ns[1] && ns[8]) || (plain && dedup)) ? "," : "")
+	if (ns[1] && ns[8]) {
+		printf "  \"scaling\": {\"ns_per_op_workers_1\": %.0f, \"ns_per_op_workers_2\": %.0f, \"ns_per_op_workers_4\": %.0f, \"ns_per_op_workers_8\": %.0f, \"speedup_workers_8\": %.4f, \"parallel_efficiency\": %.4f}%s\n", \
+			ns[1], ns[2], ns[4], ns[8], ns[1] / ns[8], ns[1] / ns[8] / 8, (plain && dedup ? "," : "")
+	}
 	if (plain && dedup) {
 		printf "  \"dedup_reduction\": {\"plain_executions\": %d, \"dedup_executions\": %d, \"executions_saved_fraction\": %.4f}\n", \
 			plain, dedup, (plain - dedup) / plain
@@ -107,13 +121,16 @@ END {
 }
 ' "$RAW_TRACE" > "$OVERHEAD"
 
-# One instrumented covering-sweep run (the benchmark workload: staged f=2,
-# t=1, n=3, all objects faulty, 4096-execution slab) producing the metric
-# snapshot the bench trajectory records. Checkpointing is on so the
-# checkpoint-latency histograms populate; the cap makes the run exit 0.
-echo "== instrumented covering-sweep run (-report) =="
+# One instrumented run producing the metric snapshot the bench trajectory
+# records. The workload is the dedup-sweep configuration (staged f=1, t=1,
+# n=2, unbounded faults on every object): its execution tree is finite, so
+# the run COMPLETES and the embedded report's "result" is a real verdict
+# ("verified"), not the "incomplete" a capped slab produces — an embedded
+# incomplete run is a benchmark artifact, not a canonical report.
+# Checkpointing is on so the checkpoint-latency histograms populate.
+echo "== instrumented verification run (-report) =="
 go run ./cmd/modelcheck \
-	-proto figure3 -f 2 -t 1 -n 3 -max 4096 -dedup \
+	-proto figure3 -f 1 -t 1 -n 2 -unbounded -max 1000000 -dedup \
 	-checkpoint "$RUNDIR/run" -checkpoint-every 100ms \
 	-report "$REPORT" >/dev/null
 

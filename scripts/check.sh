@@ -44,4 +44,36 @@ go test ./...
 echo "== go test -race (all packages) =="
 go test -race ./...
 
+echo "== scaling gate (workers=8 vs workers=1 smoke sweep) =="
+# Negative-scaling regression gate: the same 4096-execution covering-sweep
+# slab must not get slower when workers are added. The per-benchmark MINIMUM
+# of SCALE_COUNT runs is compared (single samples on a loaded box misread by
+# 50%). On a multicore machine eight workers must be at least as fast as
+# one (budget 1.05). On a single core eight workers time-slice one P, so
+# the budget is the measured cost of interleaving eight replay chains
+# through the Go scheduler (~1.4x on this class of box) plus noise headroom:
+# 1.6x. Before the lease rework the single-core ratio was not the problem —
+# the shared-counter hot path made workers=8 slower than workers=1 even
+# with idle cores to spare.
+NCPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+if [ "$NCPU" -ge 2 ]; then BUDGET=1.05; else BUDGET=1.6; fi
+SCALE_COUNT="${SCALE_COUNT:-5}"
+RAW_SCALE="$(mktemp)"
+trap 'rm -f "$RAW_SCALE"' EXIT
+go test -run '^$' -bench 'BenchmarkEngineCoveringSweep/workers=(1|8)$' \
+	-benchtime 1x -count "$SCALE_COUNT" ./internal/explore/ | tee "$RAW_SCALE"
+awk -v budget="$BUDGET" '
+$1 ~ /\/workers=1(-[0-9]+)?$/ { if (!w1 || $3 + 0 < w1) w1 = $3 + 0 }
+$1 ~ /\/workers=8(-[0-9]+)?$/ { if (!w8 || $3 + 0 < w8) w8 = $3 + 0 }
+END {
+	if (!w1 || !w8) { print "scaling gate: missing benchmark output" > "/dev/stderr"; exit 1 }
+	ratio = w8 / w1
+	printf "scaling gate: workers=1 min %.0f ns/op, workers=8 min %.0f ns/op, ratio %.2f (budget %.2f)\n", w1, w8, ratio, budget
+	if (ratio > budget) {
+		printf "FAIL: workers=8 is %.2fx slower than workers=1 — negative worker scaling\n", ratio > "/dev/stderr"
+		exit 1
+	}
+}
+' "$RAW_SCALE"
+
 echo "OK"
