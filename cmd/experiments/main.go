@@ -27,6 +27,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "smaller sweeps and sample counts")
 		seed     = flag.Int64("seed", 1, "seed for randomized components")
 		workers  = flag.Int("workers", 0, "exploration parallelism (0 = GOMAXPROCS); tables are identical for any value")
+		engine   = flag.String("engine", "auto", "execution form: auto | compiled | interpreted (goroutine reference); tables are identical for any form")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		httpAddr = flag.String("http", "", "serve live introspection (/metrics, /pprof/) on this address while experiments run, e.g. :6060")
 		events   = flag.String("events", "", "write the structured event log (JSONL) to this file, or '-' for stderr")
@@ -71,9 +72,14 @@ func main() {
 		defer shutdown() //nolint:errcheck // exiting anyway
 	}
 
+	execMode, err := run.ParseExecMode(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 	opts := harness.NewOptions(run.WithQuick(*quick), run.WithSeed(*seed),
 		run.WithWorkers(*workers), run.WithMetrics(reg), run.WithEvents(evLog),
-		run.WithTraceDir(*traceDir, *traceN))
+		run.WithTraceDir(*traceDir, *traceN), run.WithExecMode(execMode))
 	if *runID != "" {
 		e, ok := harness.ByID(*runID)
 		if !ok {

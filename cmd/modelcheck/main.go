@@ -72,6 +72,7 @@ func main() {
 		t         = flag.Int("t", 1, "per-object fault bound t")
 		n         = flag.Int("n", 2, "number of processes")
 		kindName  = flag.String("fault", "overriding", "fault kind: overriding | silent")
+		engine    = flag.String("engine", "auto", "execution form: auto | compiled | interpreted (goroutine reference)")
 		unbounded = flag.Bool("unbounded", false, "unbounded faults per faulty object")
 		faulty    = flag.Int("faulty", -1, "number of faulty objects (default: all of the protocol's objects)")
 		maxExecs  = flag.Int("max", explore.DefaultMaxExecutions, "execution cap")
@@ -96,7 +97,14 @@ func main() {
 	flag.Parse()
 
 	if *explainF != "" {
-		if err := explore.ExplainFile(os.Stdout, *explainF); err != nil {
+		// The capture replays through the form that produced it; an explicit
+		// -engine must match the recording or the replay is refused — it
+		// would be evidence about an engine that never ran this execution.
+		mode, err := run.ParseExecMode(strings.ToLower(*engine))
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := explore.ExplainFileAs(os.Stdout, *explainF, mode); err != nil {
 			fail("%v", err)
 		}
 		return
@@ -125,6 +133,7 @@ func main() {
 			"unbounded": func(v string) { *unbounded = v == "true" },
 			"faulty":    func(v string) { *faulty = atoi(v) },
 			"dedup":     func(v string) { *dedup = v == "true" },
+			"engine":    func(v string) { *engine = v },
 		}
 		explicit := map[string]bool{}
 		flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
@@ -186,12 +195,23 @@ func main() {
 		inputs[i] = int64(10 + i)
 	}
 
+	execMode, err := run.ParseExecMode(strings.ToLower(*engine))
+	if err != nil {
+		fail("%v", err)
+	}
+	compiled, err := run.ResolveExec(execMode, proto)
+	if err != nil {
+		fail("%v", err)
+	}
+	execLabel := run.ExecLabel(compiled)
+
 	cfg := explore.ConfigFrom(run.NewSettings(
 		run.WithProtocol(proto),
 		run.WithInputs(inputs...),
 		run.WithFaultyObjects(ids, perObject),
 		run.WithFaultKind(kind),
 		run.WithMaxExecutions(*maxExecs),
+		run.WithExecMode(execMode),
 	))
 
 	if st != nil {
@@ -208,7 +228,7 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		m.Extra = settingsMeta(*protoName, *kindName, *f, *t, *n, *faulty, *unbounded, *dedup)
+		m.Extra = settingsMeta(*protoName, *kindName, *engine, execLabel, *f, *t, *n, *faulty, *unbounded, *dedup)
 		if st, err = store.Create(*checkpt, m); err != nil {
 			fail("%v", err)
 		}
@@ -261,7 +281,7 @@ func main() {
 	if *traceDir != "" {
 		var err error
 		tracer, err = explore.NewTracer(*traceDir, *traceN,
-			settingsMeta(*protoName, *kindName, *f, *t, *n, *faulty, *unbounded, *dedup))
+			settingsMeta(*protoName, *kindName, *engine, execLabel, *f, *t, *n, *faulty, *unbounded, *dedup))
 		if err != nil {
 			fail("%v", err)
 		}
@@ -314,7 +334,7 @@ func main() {
 		fail("event log: %v", err)
 	}
 	if *reportOut != "" {
-		meta := settingsMeta(*protoName, *kindName, *f, *t, *n, *faulty, *unbounded, *dedup)
+		meta := settingsMeta(*protoName, *kindName, *engine, execLabel, *f, *t, *n, *faulty, *unbounded, *dedup)
 		meta["workers"] = strconv.Itoa(out.Workers)
 		meta["max"] = strconv.Itoa(*maxExecs)
 		if err := obs.WriteReport(*reportOut, buildReport(out, reg, events, meta)); err != nil {
@@ -325,7 +345,7 @@ func main() {
 		fail("%v", err)
 	}
 
-	fmt.Printf("protocol    : %s\n", proto.Name())
+	fmt.Printf("protocol    : %s (%s form)\n", proto.Name(), execLabel)
 	fmt.Printf("processes   : %d, faulty objects: %v, faults/object: %s\n",
 		*n, ids, tString(perObject))
 	fmt.Printf("executions  : %d (complete: %v)\n", out.Executions, out.Complete)
@@ -469,8 +489,11 @@ func (r *progressReporter) line(p explore.Progress) {
 func (r *progressReporter) flush() { r.w.Flush() } //nolint:errcheck // stderr
 
 // settingsMeta renders the run settings as the flat string map shared by
-// the checkpoint manifest (Extra) and the -report Run section.
-func settingsMeta(protoName, kindName string, f, t, n, faulty int, unbounded, dedup bool) map[string]string {
+// the checkpoint manifest (Extra), the trace/v1 header, and the -report Run
+// section. engine is the -engine flag as given (so a resume restores it
+// verbatim); exec is the resolved execution form ("compiled"/"interpreted"),
+// sealed so replays of the artifact run under the form that produced it.
+func settingsMeta(protoName, kindName, engine, exec string, f, t, n, faulty int, unbounded, dedup bool) map[string]string {
 	return map[string]string{
 		"proto":     strings.ToLower(protoName),
 		"f":         strconv.Itoa(f),
@@ -480,6 +503,8 @@ func settingsMeta(protoName, kindName string, f, t, n, faulty int, unbounded, de
 		"unbounded": strconv.FormatBool(unbounded),
 		"faulty":    strconv.Itoa(faulty),
 		"dedup":     strconv.FormatBool(dedup),
+		"engine":    strings.ToLower(engine),
+		"exec":      exec,
 	}
 }
 

@@ -38,6 +38,37 @@ import (
 // content (which is correct even under the overriding fault, Section 3.3).
 // There is deliberately no read operation: the paper's CAS objects allow
 // only CAS (Section 3.3).
+//
+// Per-step fault-observation contract. One Env.CAS invocation IS one
+// shared-memory step — the unit both the paper's step bounds and the
+// simulator's schedulers count. Every implementation must observe faults
+// inside that single invocation:
+//
+//   - The fault decision (does this invocation deviate from Φ, and which
+//     Φ′ it takes), the (f, t) budget accounting, and any trace event for
+//     the step all happen atomically WITHIN the CAS call, before it
+//     returns. Nothing about a step leaks out of its invocation: after CAS
+//     returns, the budget is charged, the event is recorded, and the
+//     register holds the step's final content.
+//   - No functional fault fires BETWEEN invocations. A register changes
+//     only while some process's CAS is in flight (data faults — see
+//     object.CAS.Corrupt — are deliberately outside this contract: they
+//     model an adversary writing between steps and are driven by
+//     experiment code, never by an Env).
+//   - Both execution forms rely on this: the goroutine-gated simulator
+//     parks a process around each Invoke, and the compiled stepped runner
+//     grants exactly one CAS per Stepper.Step. Either way the fault
+//     pipeline of object.CAS.Apply (or the swap path of atomicx.Bank.CAS)
+//     runs inside the granted step, so the two forms observe identical
+//     faults at identical points.
+//
+// Audit of the two banks: internal/object charges ops and the budget inside
+// CAS.Apply, which both Invoke (goroutine path) and the stepped env call
+// within the granted step — compliant. internal/atomicx decides the fault
+// and charges the budget under the bank's lock inside Bank.CAS before the
+// swap; the charge is conservative (decision-time, even when the override
+// turns out unobservable) but still strictly within the invocation —
+// compliant.
 type Env interface {
 	CAS(i int, exp, new word.Word) word.Word
 	Len() int

@@ -178,6 +178,7 @@ func newRunMetrics(reg *obs.Registry, workers int) *runMetrics {
 type engineRun struct {
 	cfg         Config
 	kind        fault.Kind
+	compiled    bool
 	cap         int
 	stopOnFirst bool
 	lowWater    int
@@ -217,7 +218,7 @@ type engineRun struct {
 // field (see the Engine doc comment). When ctx is cancelled or its deadline
 // passes, the partial outcome is returned together with ctx.Err().
 func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
-	kind, cap, err := cfg.prepare()
+	kind, cap, compiled, err := cfg.prepare()
 	if err != nil {
 		return nil, err
 	}
@@ -246,6 +247,7 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 	r := &engineRun{
 		cfg:         cfg,
 		kind:        kind,
+		compiled:    compiled,
 		cap:         cap,
 		stopOnFirst: !e.Exhaustive,
 		lowWater:    2 * workers,
@@ -570,7 +572,7 @@ func (r *engineRun) worker(ctx context.Context, w int) {
 		}
 	}
 	c := &chooser{}
-	es := newExecState(r.cfg, r.kind, c, dh)
+	es := newExecState(r.cfg, r.kind, r.compiled, c, dh)
 	defer es.close()
 	var l workerLease
 	for {

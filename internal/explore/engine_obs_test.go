@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/run"
 	"repro/internal/store"
 )
 
@@ -256,6 +257,9 @@ func TestEngineProgressDepthQuantiles(t *testing.T) {
 		Inputs:          inputs(2),
 		FaultyObjects:   []int{0, 1, 2},
 		FaultsPerObject: 1,
+		// The goroutine form keeps this sweep slow enough for the 1ms
+		// progress ticker to fire before the run completes.
+		Exec: run.ExecInterpreted,
 	}
 	var (
 		mu      sync.Mutex

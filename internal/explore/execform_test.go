@@ -1,0 +1,207 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/run"
+	"repro/internal/store"
+	"repro/internal/trace/export"
+)
+
+// TestCheckpointRefusesExecFormMismatch: a checkpoint is a claim about what
+// a specific engine explored, so a run directory created under one execution
+// form refuses to resume under the other (store.ErrMismatch) — in both
+// directions.
+func TestCheckpointRefusesExecFormMismatch(t *testing.T) {
+	for _, tc := range []struct {
+		name            string
+		created, resume run.ExecMode
+	}{
+		{"compiled-refuses-interpreted", run.ExecCompiled, run.ExecInterpreted},
+		{"interpreted-refuses-compiled", run.ExecInterpreted, run.ExecCompiled},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := benchConfig()
+			cfg.Exec = tc.created
+			m, err := ManifestFor(cfg, false, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := store.Create(filepath.Join(t.TempDir(), "run"), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			same, err := ManifestFor(cfg, false, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Verify(same); err != nil {
+				t.Fatalf("same form must verify: %v", err)
+			}
+
+			cfg.Exec = tc.resume
+			other, err := ManifestFor(cfg, false, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Verify(other); !errors.Is(err, store.ErrMismatch) {
+				t.Fatalf("Verify under the other form = %v, want store.ErrMismatch", err)
+			}
+		})
+	}
+}
+
+// TestExplainRefusesExecFormMismatch (the -explain bugfix): a capture must
+// be replayed through the execution form that produced it — verifying a
+// compiled capture on the goroutine path would silently prove the wrong
+// thing. Captures without an exec entry (predating the compiled form) are
+// replayed under whatever the configuration resolves.
+func TestExplainRefusesExecFormMismatch(t *testing.T) {
+	cfg := benchConfig()
+	cfg.Exec = run.ExecInterpreted
+	x := &export.Execution{Meta: export.Meta{Kind: "execution", Run: map[string]string{"exec": "compiled"}}}
+	err := checkExecForm(cfg, x.Meta.Run)
+	if err == nil {
+		t.Fatal("compiled capture replayed on the interpreted path without refusal")
+	}
+	if !strings.Contains(err.Error(), "captured by the compiled engine") ||
+		!strings.Contains(err.Error(), "-engine compiled") {
+		t.Errorf("refusal must name both forms and the fix, got: %v", err)
+	}
+
+	cfg.Exec = run.ExecCompiled
+	if err := checkExecForm(cfg, map[string]string{"exec": "interpreted"}); err == nil {
+		t.Error("interpreted capture replayed on the compiled path without refusal")
+	}
+	if err := checkExecForm(cfg, map[string]string{"exec": "compiled"}); err != nil {
+		t.Errorf("matching form refused: %v", err)
+	}
+	if err := checkExecForm(cfg, map[string]string{}); err != nil {
+		t.Errorf("legacy capture without exec entry refused: %v", err)
+	}
+}
+
+// TestExplainFileAsFormOverride drives the refusal end to end through a real
+// capture file, the way `modelcheck -engine X -explain` reaches it: an
+// explicit override contradicting the recorded form is refused, the matching
+// override and the auto default both replay.
+func TestExplainFileAsFormOverride(t *testing.T) {
+	dir := t.TempDir()
+	out, err := CheckWith(context.Background(),
+		violatingOpts(run.WithTraceDir(dir, 0))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Violation == nil {
+		t.Fatal("expected a violation")
+	}
+	cap := globOne(t, dir, "violation-*.jsonl")
+
+	x, err := export.ReadFile(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := x.Meta.Run["exec"]
+	if recorded != "compiled" && recorded != "interpreted" {
+		t.Fatalf("capture records exec=%q, want compiled or interpreted", recorded)
+	}
+	other := run.ExecCompiled
+	same := run.ExecInterpreted
+	if recorded == "compiled" {
+		other, same = same, other
+	}
+
+	if err := ExplainFileAs(io.Discard, cap, other); err == nil {
+		t.Errorf("replaying a %s capture under the other form must be refused", recorded)
+	} else if !strings.Contains(err.Error(), recorded) {
+		t.Errorf("refusal must name the recorded form %q, got: %v", recorded, err)
+	}
+	if err := ExplainFileAs(io.Discard, cap, same); err != nil {
+		t.Errorf("matching override refused: %v", err)
+	}
+	if err := ExplainFileAs(io.Discard, cap, run.ExecAuto); err != nil {
+		t.Errorf("auto (defer to the recording) refused: %v", err)
+	}
+}
+
+// TestEngineCancelMidLeaseWorkerSumCompiled is the stepped-runner variant of
+// TestEngineCancelMidLeaseWorkerSum: cancellation strikes workers mid-lease
+// while every leaf runs through the compiled stepped runner (pinned
+// explicitly so a future default change cannot silently downgrade the
+// coverage), and the per-worker counters plus the restored count must still
+// sum to the reported total. Run under -race via scripts/check.sh.
+func TestEngineCancelMidLeaseWorkerSumCompiled(t *testing.T) {
+	cfg := benchConfig()
+	cfg.Exec = run.ExecCompiled
+	cfg.MaxExecutions = 1_000_000
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	out, err := (&Engine{Workers: 4, LeaseSize: 16, Metrics: reg}).Check(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out.Complete {
+		t.Error("cancelled run reported complete")
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["explore.executions"]; got != int64(out.Executions) {
+		t.Errorf("explore.executions = %d, Outcome.Executions = %d", got, out.Executions)
+	}
+	sum := sumWorkerCounters(s, ".executions") + s.Counters["explore.executions.restored"]
+	if sum != int64(out.Executions) {
+		t.Errorf("worker sum + restored = %d, want %d — a lease was lost or double-counted on cancellation", sum, out.Executions)
+	}
+}
+
+// TestEngineFormsAgreeOnCoveringSlab pins that the two forms produce the
+// identical Outcome on the capped covering slab the benchmarks use — same
+// execution count, same canonical counterexample — through the full engine
+// (workers, leases, frontier), not just the leaf-level CrossCheck.
+func TestEngineFormsAgreeOnCoveringSlab(t *testing.T) {
+	cfg := benchConfig()
+	cfg.Exec = run.ExecInterpreted
+	ref, err := (&Engine{Workers: 2}).Check(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Exec = run.ExecCompiled
+	got, err := (&Engine{Workers: 2}).Check(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Executions != ref.Executions || got.Complete != ref.Complete ||
+		got.MaxProcSteps != ref.MaxProcSteps || got.MaxFaults != ref.MaxFaults {
+		t.Fatalf("outcomes diverge: compiled {execs=%d complete=%v steps=%d faults=%d}, interpreted {execs=%d complete=%v steps=%d faults=%d}",
+			got.Executions, got.Complete, got.MaxProcSteps, got.MaxFaults,
+			ref.Executions, ref.Complete, ref.MaxProcSteps, ref.MaxFaults)
+	}
+	if (got.Violation == nil) != (ref.Violation == nil) {
+		t.Fatalf("violation presence diverges: compiled %v, interpreted %v",
+			got.Violation != nil, ref.Violation != nil)
+	}
+	if got.Violation != nil {
+		if want := ref.Violation.Path; len(got.Violation.Path) != len(want) {
+			t.Errorf("canonical violation path = %v, want %v", got.Violation.Path, want)
+		} else {
+			for i := range want {
+				if got.Violation.Path[i] != want[i] {
+					t.Errorf("canonical violation path = %v, want %v", got.Violation.Path, want)
+					break
+				}
+			}
+		}
+	}
+}

@@ -33,6 +33,9 @@ func Explain(w io.Writer, cfg Config, x *export.Execution) error {
 	if len(x.Events) == 0 {
 		return fmt.Errorf("explore: trace holds no events")
 	}
+	if err := checkExecForm(cfg, x.Meta.Run); err != nil {
+		return err
+	}
 	ce, err := Replay(cfg, x.Meta.Path)
 	if err != nil {
 		return fmt.Errorf("explore: explain: replay: %w", err)
@@ -80,8 +83,18 @@ func Explain(w io.Writer, cfg Config, x *export.Execution) error {
 }
 
 // ExplainFile explains the trace/v1 file at path, reconstructing the
-// configuration from the trace's own sealed run meta.
+// configuration from the trace's own sealed run meta; the capture replays
+// through the execution form that produced it.
 func ExplainFile(w io.Writer, path string) error {
+	return ExplainFileAs(w, path, run.ExecAuto)
+}
+
+// ExplainFileAs is ExplainFile with an explicit execution-form override:
+// run.ExecAuto defers to the form recorded in the capture, while any other
+// mode replaces it — and Explain refuses the replay if the override
+// contradicts the recording, because a replay is only evidence about the
+// engine that actually ran.
+func ExplainFileAs(w io.Writer, path string, mode run.ExecMode) error {
 	x, err := export.ReadFile(path)
 	if err != nil {
 		return err
@@ -90,8 +103,34 @@ func ExplainFile(w io.Writer, path string) error {
 	if err != nil {
 		return fmt.Errorf("%w (trace %s)", err, path)
 	}
+	if mode != run.ExecAuto {
+		s.Exec = mode
+	}
 	fmt.Fprintf(w, "trace         : %s (%s, captured by worker %d)\n", path, x.Meta.Schema, x.Meta.Worker)
 	return Explain(w, ConfigFrom(s), x)
+}
+
+// checkExecForm refuses to verify a capture under a different execution
+// form than the one that produced it. The two forms are equivalent by
+// construction (explore.CrossCheck certifies them), but a replay is only
+// evidence about the engine that actually ran — verifying a compiled
+// capture on the goroutine path (or vice versa) would silently prove the
+// wrong thing. Captures that predate the compiled form carry no exec entry
+// and replay under whatever form the configuration resolves to.
+func checkExecForm(cfg Config, meta map[string]string) error {
+	recorded := meta["exec"]
+	if recorded == "" {
+		return nil
+	}
+	compiled, err := run.ResolveExec(cfg.Exec, cfg.Protocol)
+	if err != nil {
+		return fmt.Errorf("explore: explain: %w", err)
+	}
+	if resolved := run.ExecLabel(compiled); resolved != recorded {
+		return fmt.Errorf("explore: explain: trace was captured by the %s engine but this configuration replays %s; rerun with the matching execution form (-engine %s)",
+			recorded, resolved, recorded)
+	}
+	return nil
 }
 
 // diffEvents compares the recorded and replayed event sequences and

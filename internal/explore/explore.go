@@ -62,6 +62,11 @@ type Config struct {
 	MaxExecutions int
 	// StepLimit overrides the protocol's per-process step bound.
 	StepLimit int
+	// Exec selects the execution form: the compiled step machines or the
+	// goroutine-gated reference simulator (default run.ExecAuto — compiled
+	// whenever the protocol provides a core.Stepper). Both forms enumerate
+	// identical trees with identical verdicts and counterexamples.
+	Exec run.ExecMode
 }
 
 // DefaultMaxExecutions bounds the enumeration when Config.MaxExecutions is 0.
@@ -217,28 +222,32 @@ func observable(kind fault.Kind, op fault.Op) bool {
 	}
 }
 
-// prepare validates the configuration and resolves the effective fault kind
-// and execution cap — shared by the sequential checker and the parallel
-// engine.
-func (cfg *Config) prepare() (kind fault.Kind, cap int, err error) {
+// prepare validates the configuration and resolves the effective fault
+// kind, execution cap, and execution form — shared by the sequential
+// checker and the parallel engine.
+func (cfg *Config) prepare() (kind fault.Kind, cap int, compiled bool, err error) {
 	if cfg.Protocol == nil {
-		return 0, 0, fmt.Errorf("explore: no protocol")
+		return 0, 0, false, fmt.Errorf("explore: no protocol")
 	}
 	if len(cfg.Inputs) == 0 {
-		return 0, 0, fmt.Errorf("explore: no inputs")
+		return 0, 0, false, fmt.Errorf("explore: no inputs")
 	}
 	kind = cfg.Kind
 	if kind == fault.None {
 		kind = fault.Overriding
 	}
 	if cfg.FixedPolicy == nil && kind != fault.Overriding && kind != fault.Silent {
-		return 0, 0, fmt.Errorf("explore: unsupported fault kind %v", kind)
+		return 0, 0, false, fmt.Errorf("explore: unsupported fault kind %v", kind)
+	}
+	compiled, err = run.ResolveExec(cfg.Exec, cfg.Protocol)
+	if err != nil {
+		return 0, 0, false, err
 	}
 	cap = cfg.MaxExecutions
 	if cap <= 0 {
 		cap = DefaultMaxExecutions
 	}
-	return kind, cap, nil
+	return kind, cap, compiled, nil
 }
 
 // ConfigFrom converts the unified settings to an exploration Config.
@@ -252,6 +261,7 @@ func ConfigFrom(s *run.Settings) Config {
 		FixedPolicy:     s.Policy,
 		MaxExecutions:   s.MaxExecutions,
 		StepLimit:       s.StepLimit,
+		Exec:            s.Exec,
 	}
 }
 
@@ -318,14 +328,14 @@ func CheckWith(ctx context.Context, opts ...run.Option) (*Outcome, error) {
 // It is the sequential reference implementation: the parallel Engine
 // enumerates the same leaves and is checked against it.
 func Check(cfg Config) (*Outcome, error) {
-	kind, cap, err := cfg.prepare()
+	kind, cap, compiled, err := cfg.prepare()
 	if err != nil {
 		return nil, err
 	}
 
 	out := &Outcome{Workers: 1}
 	c := &chooser{}
-	es := newExecState(cfg, kind, c, nil)
+	es := newExecState(cfg, kind, compiled, c, nil)
 	defer es.close()
 	for out.Executions < cap {
 		c.arity = c.arity[:0]
@@ -374,18 +384,28 @@ type execState struct {
 
 	budget   *fault.Budget
 	bank     *object.Bank
-	arena    *sim.Arena
 	log      *trace.Log
 	schedule []int
 	eval     *run.Evaluator
-	simCfg   sim.Config
+
+	// Goroutine-gated reference form (compiled == false).
+	arena  *sim.Arena
+	simCfg sim.Config
+
+	// Compiled form (compiled == true): the protocol's step machines on
+	// the single-goroutine stepped runner.
+	compiled   bool
+	stepped    *sim.Stepped
+	steppedCfg sim.SteppedConfig
 }
 
 // newExecState builds the replay machinery for one enumeration loop driven
-// by the given chooser. Callers must close it to release the arena's
-// goroutines.
-func newExecState(cfg Config, kind fault.Kind, c *chooser, dh *dedupHandle) *execState {
-	es := &execState{cfg: cfg, kind: kind, c: c, dh: dh}
+// by the given chooser. compiled must come from Config.prepare (callers may
+// not request a compiled form the protocol does not provide). Callers must
+// close the state to release the arena's goroutines (a no-op on the
+// compiled path, which holds none).
+func newExecState(cfg Config, kind fault.Kind, compiled bool, c *chooser, dh *dedupHandle) *execState {
+	es := &execState{cfg: cfg, kind: kind, compiled: compiled, c: c, dh: dh}
 	es.budget = fault.NewFixedBudget(cfg.FaultyObjects, cfg.FaultsPerObject)
 	policy := cfg.FixedPolicy
 	if policy == nil {
@@ -400,7 +420,6 @@ func newExecState(cfg Config, kind fault.Kind, c *chooser, dh *dedupHandle) *exe
 		})
 	}
 	es.bank = object.NewBank(cfg.Protocol.Objects(), es.budget, policy)
-	es.arena = sim.NewArena(len(cfg.Inputs))
 	es.log = trace.New()
 	es.eval = run.NewEvaluator(cfg.Inputs)
 
@@ -412,6 +431,23 @@ func newExecState(cfg Config, kind fault.Kind, c *chooser, dh *dedupHandle) *exe
 	if dh != nil {
 		observer = dh.tracker.Observe
 	}
+	if compiled {
+		stepper, ok := core.Compile(cfg.Protocol)
+		if !ok {
+			panic(fmt.Sprintf("explore: compiled execution of %s, which has no Stepper", cfg.Protocol.Name()))
+		}
+		es.stepped = sim.NewStepped(len(cfg.Inputs))
+		es.steppedCfg = sim.SteppedConfig{
+			Procs:     len(cfg.Inputs),
+			Program:   run.NewSteppedExec(stepper, es.bank, cfg.Inputs),
+			Scheduler: sim.SchedulerFunc(es.schedNext),
+			StepLimit: limit,
+			Log:       es.log,
+			Observer:  observer,
+		}
+		return es
+	}
+	es.arena = sim.NewArena(len(cfg.Inputs))
 	es.simCfg = sim.Config{
 		Programs:  run.BoundPrograms(cfg.Protocol, es.bank, cfg.Inputs, es.arena.Procs()),
 		Scheduler: sim.SchedulerFunc(es.schedNext),
@@ -438,8 +474,13 @@ func (es *execState) schedNext(enabled []int) (int, bool) {
 	return pick, true
 }
 
-// close releases the arena's process goroutines.
-func (es *execState) close() { es.arena.Close() }
+// close releases the arena's process goroutines (no-op on the compiled
+// path, which runs on the calling goroutine).
+func (es *execState) close() {
+	if es.arena != nil {
+		es.arena.Close()
+	}
+}
 
 // runLeaf replays one execution along the chooser's path, reusing the
 // execState's machinery. When dedup is on and the replay reaches a state
@@ -461,7 +502,13 @@ func (es *execState) runLeaf(ctx context.Context) (run.Verdict, runStats, bool, 
 		es.dh.tracker.Reset()
 	}
 
-	res, err := es.arena.Run(ctx, es.simCfg)
+	var res *sim.Result
+	var err error
+	if es.compiled {
+		res, err = es.stepped.Run(ctx, es.steppedCfg)
+	} else {
+		res, err = es.arena.Run(ctx, es.simCfg)
+	}
 	if err != nil && res == nil {
 		return run.Verdict{}, runStats{}, false, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/run"
 	"repro/internal/store"
 )
 
@@ -21,8 +22,13 @@ func ManifestFor(cfg Config, exhaustive, dedupOn bool) (store.Manifest, error) {
 	if kind == fault.None {
 		kind = fault.Overriding
 	}
+	compiled, err := run.ResolveExec(cfg.Exec, cfg.Protocol)
+	if err != nil {
+		return store.Manifest{}, err
+	}
 	return store.Manifest{
 		Engine:          "explore.Engine",
+		Exec:            run.ExecLabel(compiled),
 		Protocol:        cfg.Protocol.Name(),
 		Objects:         cfg.Protocol.Objects(),
 		Inputs:          cfg.Inputs,

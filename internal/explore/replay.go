@@ -1,11 +1,6 @@
 package explore
 
-import (
-	"context"
-	"fmt"
-
-	"repro/internal/fault"
-)
+import "context"
 
 // Replay re-executes the single execution identified by a choice path
 // (as recorded in Counterexample.Path) under the same configuration and
@@ -14,18 +9,12 @@ import (
 // event — the standard way to inspect, shrink, or export a violation found
 // during exploration.
 func Replay(cfg Config, path []int) (*Counterexample, error) {
-	if cfg.Protocol == nil {
-		return nil, fmt.Errorf("explore: no protocol")
-	}
-	if len(cfg.Inputs) == 0 {
-		return nil, fmt.Errorf("explore: no inputs")
-	}
-	kind := cfg.Kind
-	if kind == fault.None {
-		kind = fault.Overriding
+	kind, _, compiled, err := cfg.prepare()
+	if err != nil {
+		return nil, err
 	}
 	c := &chooser{path: append([]int(nil), path...)}
-	es := newExecState(cfg, kind, c, nil)
+	es := newExecState(cfg, kind, compiled, c, nil)
 	defer es.close()
 	verdict, _, _, err := es.runLeaf(context.Background())
 	if err != nil {

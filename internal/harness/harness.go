@@ -43,16 +43,21 @@ type Options struct {
 	TraceDir string
 	// TraceSample is the passing-execution sampling rate for TraceDir.
 	TraceSample int
+	// Exec selects the execution form of every exploration the experiments
+	// drive: compiled step machines, the goroutine-gated reference
+	// simulator, or auto (compiled when the protocol provides a Stepper).
+	// Tables are identical across forms; only throughput changes.
+	Exec run.ExecMode
 }
 
 // NewOptions derives experiment options from the unified run.With... options
 // (run.WithQuick, run.WithSeed, run.WithWorkers, run.WithMetrics,
-// run.WithEvents, run.WithTraceDir).
+// run.WithEvents, run.WithTraceDir, run.WithExecMode).
 func NewOptions(opts ...run.Option) Options {
 	s := run.NewSettings(opts...)
 	return Options{Quick: s.Quick, Seed: s.Seed, Workers: s.Workers,
 		Metrics: s.Metrics, Events: s.Events,
-		TraceDir: s.TraceDir, TraceSample: s.TraceSample}
+		TraceDir: s.TraceDir, TraceSample: s.TraceSample, Exec: s.Exec}
 }
 
 // engine bundles the options every engine-driven exploration inside an
@@ -66,6 +71,7 @@ func (o Options) engine() run.Option {
 		s.Events = o.Events
 		s.TraceDir = o.TraceDir
 		s.TraceSample = o.TraceSample
+		s.Exec = o.Exec
 	}
 }
 

@@ -35,6 +35,13 @@ func MetaFromSettings(s *Settings) map[string]string {
 	if s.FaultsPerObject == fault.Unbounded {
 		m["t"] = "0"
 	}
+	if s.Protocol != nil {
+		// The resolved execution form, so a replay of this artifact runs
+		// under the same engine that produced it.
+		if compiled, err := ResolveExec(s.Exec, s.Protocol); err == nil {
+			m["exec"] = ExecLabel(compiled)
+		}
+	}
 	switch p := s.Protocol.(type) {
 	case core.SingleCAS:
 		m["proto"] = "figure1"
@@ -135,10 +142,24 @@ func SettingsFromMeta(meta map[string]string, inputs []int64) (*Settings, error)
 		}
 	}
 
-	return NewSettings(
+	opts := []Option{
 		WithProtocol(proto),
 		WithInputs(inputs...),
 		WithFaultyObjects(ids, perObject),
 		WithFaultKind(kind),
-	), nil
+	}
+	if v := meta["exec"]; v != "" {
+		// Replay the artifact under the form that produced it. Meta
+		// without an exec entry predates the compiled form and keeps the
+		// default (auto).
+		mode, err := ParseExecMode(v)
+		if err != nil {
+			return nil, err
+		}
+		if mode == ExecAuto {
+			mode = ExecInterpreted // "auto" is never recorded; be strict
+		}
+		opts = append(opts, WithExecMode(mode))
+	}
+	return NewSettings(opts...), nil
 }

@@ -63,6 +63,63 @@ func TestMetaRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMetaRoundTripExec: the resolved execution form survives the meta
+// round trip, so an artifact replays under the engine that produced it —
+// and a meta without an exec entry (predating the compiled form) keeps the
+// default auto resolution.
+func TestMetaRoundTripExec(t *testing.T) {
+	base := []Option{
+		WithProtocol(core.NewStaged(1, 1)), WithDistinctInputs(2),
+		WithAllObjectsFaulty(1),
+	}
+	cases := []struct {
+		name string
+		mode ExecMode
+		want ExecMode // reconstructed mode
+	}{
+		// Auto on a steppered protocol resolves (and records) compiled.
+		{"auto-resolves-compiled", ExecAuto, ExecCompiled},
+		{"compiled", ExecCompiled, ExecCompiled},
+		{"interpreted", ExecInterpreted, ExecInterpreted},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSettings(append(base, WithExecMode(tc.mode))...)
+			meta := MetaFromSettings(s)
+			wantCompiled, err := ResolveExec(tc.mode, s.Protocol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := meta["exec"], ExecLabel(wantCompiled); got != want {
+				t.Fatalf("meta exec = %q, want %q", got, want)
+			}
+			got, err := SettingsFromMeta(meta, s.Inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Exec != tc.want {
+				t.Errorf("reconstructed Exec = %v, want %v", got.Exec, tc.want)
+			}
+		})
+	}
+
+	t.Run("legacy-meta-keeps-auto", func(t *testing.T) {
+		s, err := SettingsFromMeta(map[string]string{"proto": "figure1", "n": "2"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Exec != ExecAuto {
+			t.Errorf("Exec = %v, want ExecAuto for meta without an exec entry", s.Exec)
+		}
+	})
+
+	t.Run("corrupt-exec-refused", func(t *testing.T) {
+		if _, err := SettingsFromMeta(map[string]string{"proto": "figure1", "n": "2", "exec": "jit"}, nil); err == nil {
+			t.Error("unknown exec form in meta must be refused")
+		}
+	})
+}
+
 // TestSettingsFromMetaCanonicalInputs: without explicit inputs, the meta's
 // process count yields the canonical 10, 11, … inputs every driver uses.
 func TestSettingsFromMetaCanonicalInputs(t *testing.T) {

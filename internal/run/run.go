@@ -72,6 +72,9 @@ type Config struct {
 	Observer func(trace.Event)
 	// StepLimit overrides the protocol's StepBound when positive.
 	StepLimit int
+	// Exec selects the execution form (default ExecAuto: compiled when
+	// the protocol provides a core.Stepper).
+	Exec ExecMode
 }
 
 // Result bundles the simulation outcome with its verdict.
@@ -103,23 +106,43 @@ func ConsensusContext(ctx context.Context, cfg Config) (*Result, error) {
 	if sched == nil {
 		sched = sim.NewRoundRobin()
 	}
+	compiled, err := ResolveExec(cfg.Exec, cfg.Protocol)
+	if err != nil {
+		return nil, err
+	}
 	bank := object.NewBank(cfg.Protocol.Objects(), cfg.Budget, cfg.Policy)
 
 	limit := cfg.StepLimit
 	if limit <= 0 {
 		limit = cfg.Protocol.StepBound(len(cfg.Inputs))
 	}
-	simCfg := sim.Config{
-		Programs:  Programs(cfg.Protocol, bank, cfg.Inputs),
-		Scheduler: sched,
-		StepLimit: limit,
-		Observer:  cfg.Observer,
-	}
-	if cfg.Trace {
-		simCfg.Log = trace.New()
-	}
 
-	res, err := sim.RunContext(ctx, simCfg)
+	var res *sim.Result
+	if compiled {
+		stepper, _ := core.Compile(cfg.Protocol)
+		steppedCfg := sim.SteppedConfig{
+			Procs:     len(cfg.Inputs),
+			Program:   NewSteppedExec(stepper, bank, cfg.Inputs),
+			Scheduler: sched,
+			StepLimit: limit,
+			Observer:  cfg.Observer,
+		}
+		if cfg.Trace {
+			steppedCfg.Log = trace.New()
+		}
+		res, err = sim.RunStepped(ctx, steppedCfg)
+	} else {
+		simCfg := sim.Config{
+			Programs:  Programs(cfg.Protocol, bank, cfg.Inputs),
+			Scheduler: sched,
+			StepLimit: limit,
+			Observer:  cfg.Observer,
+		}
+		if cfg.Trace {
+			simCfg.Log = trace.New()
+		}
+		res, err = sim.RunContext(ctx, simCfg)
+	}
 	if err != nil && res == nil {
 		return nil, err
 	}

@@ -1,0 +1,259 @@
+// The stepped runner is the compiled counterpart of the goroutine-gated
+// Arena: it executes an entire schedule in one tight loop on the calling
+// goroutine. Where the Arena suspends each process inside a blocked Program
+// closure (park, grant, channel handshake — two scheduler hops per atomic
+// step), the stepped runner advances explicitly resumable state machines
+// (core.Stepper, adapted through SteppedProgram), so granting a step is a
+// plain function call. The Arena remains the reference semantics; the
+// stepped runner reproduces its observable behaviour exactly — same
+// scheduling decisions, same step accounting, same trace events in the same
+// order, same errors byte for byte — which explore.CrossCheck and the
+// differential fuzz tests enforce.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+// SteppedProgram is the code of all processes of one stepped execution, in
+// resumable form. Begin initializes process id's machine (local computation
+// only — no shared-memory operation and no recording); each Step call
+// performs process id's next atomic step, records its trace events through
+// rec, and reports how the process left the step. One Step call must
+// perform exactly one shared-object operation: it is the unit the scheduler
+// granted, and the step accounting (wait-freedom bounds) counts Step calls.
+type SteppedProgram interface {
+	Begin(id int)
+	Step(id int, rec *StepRecorder) StepOutcome
+}
+
+// StepOutcome reports how a process left one granted step.
+type StepOutcome struct {
+	// Done means the process decided (in this step) with Decision.
+	Done bool
+	// Stalled means a nonresponsive fault parked the process forever; it
+	// takes no further steps and never decides. Stalled overrides Done.
+	Stalled bool
+	// Decision is the decided value (valid when Done).
+	Decision word.Word
+}
+
+// StepRecorder appends events to the execution trace on behalf of the
+// process taking the current step — the stepped counterpart of Proc.Record.
+type StepRecorder struct {
+	log      *trace.Log
+	observer func(trace.Event)
+}
+
+// Record appends an event to the trace and notifies the observer, exactly
+// as Arena.record does: the observer sees the event with its log index.
+func (r *StepRecorder) Record(e trace.Event) {
+	if r.log != nil {
+		r.log.Append(e)
+		if r.observer != nil {
+			e.Index = r.log.Len() - 1
+			r.observer(e)
+		}
+		return
+	}
+	if r.observer != nil {
+		r.observer(e)
+	}
+}
+
+// SteppedConfig describes one stepped execution. The fields mirror Config;
+// Programs is replaced by the resumable Program plus the process count.
+type SteppedConfig struct {
+	// Procs is the number of processes; process ids are 0..Procs-1.
+	Procs int
+	// Program is the resumable code of all processes. Required.
+	Program SteppedProgram
+	// Scheduler chooses the interleaving. Required.
+	Scheduler Scheduler
+	// StepLimit bounds the number of atomic steps any single process may
+	// take (0 means DefaultStepLimit), as in Config.
+	StepLimit int
+	// Log, when non-nil, records every step.
+	Log *trace.Log
+	// Observer, when non-nil, is called synchronously after each recorded
+	// event.
+	Observer func(trace.Event)
+}
+
+// Stepped is the reusable runner state for stepped executions — the
+// counterpart of Arena for the compiled path. A Stepped is built for a
+// fixed process count and can run any number of executions in sequence; it
+// holds no goroutines, so there is nothing to Close. Not safe for
+// concurrent Runs.
+type Stepped struct {
+	n         int
+	decided   []bool
+	decisions []word.Word
+	steps     []int
+	stalled   []bool
+	runnable  []bool
+	enabled   []int
+	rec       StepRecorder
+	res       Result
+}
+
+// NewStepped returns a reusable stepped runner for n processes.
+func NewStepped(n int) *Stepped {
+	if n <= 0 {
+		panic("sim: stepped runner needs at least one process")
+	}
+	return &Stepped{
+		n:         n,
+		decided:   make([]bool, n),
+		decisions: make([]word.Word, n),
+		steps:     make([]int, n),
+		stalled:   make([]bool, n),
+		runnable:  make([]bool, n),
+		enabled:   make([]int, 0, n),
+	}
+}
+
+// Run executes one stepped simulation and returns its result. The returned
+// Result's slices are owned by the runner and are invalidated by the next
+// Run, exactly like Arena.Run. The termination conditions and error
+// behaviour match Arena.Run: the execution ends when every process has
+// decided (or stalled), when the scheduler stops it, when ctx is cancelled
+// between steps (partial result plus ctx.Err(), marked Stopped), or on a
+// wait-freedom violation or program panic. Run never returns both a nil
+// Result and a nil error.
+func (s *Stepped) Run(ctx context.Context, cfg SteppedConfig) (*Result, error) {
+	if cfg.Procs != s.n {
+		return nil, fmt.Errorf("sim: %d processes for a %d-process stepped runner", cfg.Procs, s.n)
+	}
+	if cfg.Program == nil {
+		return nil, errors.New("sim: no program")
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("sim: no scheduler")
+	}
+	limit := cfg.StepLimit
+	if limit <= 0 {
+		limit = DefaultStepLimit
+	}
+
+	for i := 0; i < s.n; i++ {
+		s.decided[i] = false
+		s.decisions[i] = word.Bottom
+		s.steps[i] = 0
+		s.stalled[i] = false
+		s.runnable[i] = true
+	}
+	s.rec = StepRecorder{log: cfg.Log, observer: cfg.Observer}
+	live := s.n
+
+	// Initialization phase: the counterpart of the Arena's collection
+	// phase. Begin performs no shared-memory step, so afterwards every
+	// process sits at its first step, exactly like a freshly parked
+	// goroutine.
+	for id := 0; id < s.n; id++ {
+		if err := beginProc(cfg.Program, id); err != nil {
+			return nil, err
+		}
+	}
+
+	// Main loop: grant one step at a time. Structure and error strings
+	// track Arena.Run exactly — the sequential checker's lex-least
+	// counterexample guarantee rests on both forms consuming scheduler
+	// decisions identically.
+	for live > 0 {
+		if err := ctx.Err(); err != nil {
+			return s.result(cfg, true), err
+		}
+		s.enabled = s.enabled[:0]
+		for id := 0; id < s.n; id++ {
+			if s.runnable[id] {
+				s.enabled = append(s.enabled, id)
+			}
+		}
+		if len(s.enabled) == 0 {
+			// All live processes are stalled: nothing can ever step.
+			break
+		}
+		pick, ok := cfg.Scheduler.Next(s.enabled)
+		if !ok {
+			return s.result(cfg, true), nil
+		}
+		if pick < 0 || pick >= s.n || !s.runnable[pick] {
+			return nil, fmt.Errorf("sim: scheduler picked process %d which is not enabled", pick)
+		}
+		s.steps[pick]++
+		if s.steps[pick] > limit {
+			return s.result(cfg, false), fmt.Errorf("%w: process %d exceeded %d steps", ErrWaitFreedom, pick, limit)
+		}
+		out, err := stepProc(cfg.Program, pick, &s.rec)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case out.Stalled:
+			s.stalled[pick] = true
+			s.runnable[pick] = false
+			live--
+		case out.Done:
+			s.decided[pick] = true
+			s.decisions[pick] = out.Decision
+			s.runnable[pick] = false
+			live--
+			// The decide event follows the step's own events, as in the
+			// goroutine path (the program returns after its final CAS).
+			s.rec.Record(trace.Event{Kind: trace.EventDecide, Proc: pick, Value: out.Decision})
+		}
+	}
+	return s.result(cfg, false), nil
+}
+
+// beginProc initializes one process, converting a panic into the same
+// PanicError the Arena reports for a program panicking before its first
+// step.
+func beginProc(prog SteppedProgram, id int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Proc: id, Value: v}
+		}
+	}()
+	prog.Begin(id)
+	return nil
+}
+
+// stepProc advances one process by one step, converting a panic into the
+// same PanicError the Arena reports for a program panicking mid-step.
+func stepProc(prog SteppedProgram, id int, rec *StepRecorder) (out StepOutcome, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Proc: id, Value: v}
+		}
+	}()
+	return prog.Step(id, rec), nil
+}
+
+func (s *Stepped) result(cfg SteppedConfig, stopped bool) *Result {
+	s.res = Result{
+		Decided:   s.decided,
+		Decisions: s.decisions,
+		Steps:     s.steps,
+		Stalled:   s.stalled,
+		Stopped:   stopped,
+		Log:       cfg.Log,
+	}
+	return &s.res
+}
+
+// RunStepped executes one stepped simulation to completion — the one-shot
+// form, mirroring RunContext. Repeated replays (the model checker's hot
+// path) should hold a Stepped and call its Run directly.
+func RunStepped(ctx context.Context, cfg SteppedConfig) (*Result, error) {
+	if cfg.Procs <= 0 {
+		return nil, errors.New("sim: no processes")
+	}
+	return NewStepped(cfg.Procs).Run(ctx, cfg)
+}

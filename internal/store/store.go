@@ -50,6 +50,11 @@ type Manifest struct {
 	Kind            string  `json:"kind"`
 	StepLimit       int     `json:"step_limit"`
 	Exhaustive      bool    `json:"exhaustive"`
+	// Exec is the resolved execution form ("compiled" or "interpreted").
+	// It is hashed: the forms are equivalent by construction, but a
+	// checkpoint is a claim about what a specific engine explored, so a
+	// resume must re-run the engine that made the claim.
+	Exec string `json:"exec,omitempty"`
 
 	// Advisory (not hashed): tuning that does not change the verdict.
 	MaxExecutions int  `json:"max_executions"`
@@ -67,9 +72,10 @@ type Manifest struct {
 // Hash computes the settings hash over the verdict-relevant fields.
 func (m *Manifest) Hash() string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "v%d|%s|%d|%v|%v|%d|%s|%d|%v",
+	fmt.Fprintf(h, "v%d|%s|%d|%v|%v|%d|%s|%d|%v|%s",
 		m.FormatVersion, m.Protocol, m.Objects, m.Inputs,
-		m.FaultyObjects, m.FaultsPerObject, m.Kind, m.StepLimit, m.Exhaustive)
+		m.FaultyObjects, m.FaultsPerObject, m.Kind, m.StepLimit, m.Exhaustive,
+		m.Exec)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

@@ -20,6 +20,13 @@
 # under "trace_overhead" with its 15% budget; exceeding the budget prints a
 # warning but does not fail the script (scripts/check.sh is the hard gate).
 #
+# A third pass measures the compiled execution form against the goroutine
+# reference on the single-worker covering slab (min of FORM_COUNT, same
+# noise discipline) and records the ratio under "compiled_speedup" together
+# with the host's core count — the slab is single-worker, so the ratio is
+# honest on a single-core host (annotated single_core_host: true), unlike
+# the worker-scaling block whose efficiency ceiling depends on cores.
+#
 # It then runs the same covering-sweep workload once through
 # `modelcheck -report` (with dedup and periodic checkpointing enabled) and
 # embeds the machine-readable report under "report", so the perf
@@ -36,14 +43,18 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3x}"
 TRACE_COUNT="${TRACE_COUNT:-5}"
+FORM_COUNT="${FORM_COUNT:-5}"
 OUT="${OUT:-BENCH_explore.json}"
+NCPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 RAW="$(mktemp)"
 RAW_TRACE="$(mktemp)"
+RAW_FORM="$(mktemp)"
 BENCH_JSON="$(mktemp)"
 OVERHEAD="$(mktemp)"
+SPEEDUP="$(mktemp)"
 REPORT="$(mktemp)"
 RUNDIR="$(mktemp -d)"
-trap 'rm -rf "$RAW" "$RAW_TRACE" "$BENCH_JSON" "$OVERHEAD" "$REPORT" "$RUNDIR"' EXIT
+trap 'rm -rf "$RAW" "$RAW_TRACE" "$RAW_FORM" "$BENCH_JSON" "$OVERHEAD" "$SPEEDUP" "$REPORT" "$RUNDIR"' EXIT
 
 go test -run '^$' \
 	-bench 'BenchmarkEngineCoveringSweep|BenchmarkSequentialCoveringSweep|BenchmarkEngineDedupSweep' \
@@ -121,6 +132,21 @@ END {
 }
 ' "$RAW_TRACE" > "$OVERHEAD"
 
+echo "== compiled-vs-goroutine execution form (min of $FORM_COUNT) =="
+go test -run '^$' \
+	-bench 'BenchmarkExecFormCoveringSweep' \
+	-benchtime "$BENCHTIME" -count "$FORM_COUNT" ./internal/explore/ | tee "$RAW_FORM"
+
+awk -v count="$FORM_COUNT" -v ncpu="$NCPU" '
+/^BenchmarkExecFormCoveringSweep\/form=compiled/  { if (!c || $3 + 0 < c) c = $3 + 0 }
+/^BenchmarkExecFormCoveringSweep\/form=goroutine/ { if (!g || $3 + 0 < g) g = $3 + 0 }
+END {
+	if (!c || !g) { print "{}"; exit 1 }
+	printf "{\"goroutine_min_ns_per_op\": %.0f, \"compiled_min_ns_per_op\": %.0f, \"compiled_speedup\": %.4f, \"floor\": 2.0, \"samples\": %d, \"host_cpus\": %d, \"single_core_host\": %s}\n", \
+		g, c, g / c, count, ncpu, (ncpu <= 1 ? "true" : "false")
+}
+' "$RAW_FORM" > "$SPEEDUP"
+
 # One instrumented run producing the metric snapshot the bench trajectory
 # records. The workload is the dedup-sweep configuration (staged f=1, t=1,
 # n=2, unbounded faults on every object): its execution tree is finite, so
@@ -140,6 +166,8 @@ go run ./cmd/modelcheck \
 	sed '$d' "$BENCH_JSON"
 	printf '  ,\n  "trace_overhead":\n'
 	sed 's/^/  /' "$OVERHEAD"
+	printf '  ,\n  "compiled_speedup":\n'
+	sed 's/^/  /' "$SPEEDUP"
 	printf '  ,\n  "report":\n'
 	sed 's/^/  /' "$REPORT"
 	printf '}\n'
