@@ -18,6 +18,17 @@
 //	modelcheck -proto figure3 -f 2 -n 3 -checkpoint run/ -deadline 10s
 //	modelcheck -resume run/                              # pick up where it died
 //
+// Distributed exploration (docs/MODEL.md, "Distributed exploration"):
+// -ledger joins any number of OS processes into one sweep over a shared work
+// ledger in the run directory; workers claim subtrees under expiring leases,
+// so a SIGKILLed participant forfeits only its current claim to the
+// survivors. -ledger-finalize merges the drained ledger into the exact
+// verdict a single process would have reported.
+//
+//	modelcheck -proto figure3 -f 1 -n 2 -unbounded -ledger run/ &
+//	modelcheck -ledger run/ &                            # settings from the manifest
+//	wait; modelcheck -ledger-finalize run/
+//
 // Observability (docs/MODEL.md, "Observability"): -http serves the live
 // metric snapshot, the latest progress report, and pprof while the
 // exploration runs; -events streams the structured run event log as JSONL;
@@ -46,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -60,6 +72,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/fault"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/run"
 	"repro/internal/store"
@@ -83,6 +96,10 @@ func main() {
 		checkpt   = flag.String("checkpoint", "", "create a run directory there and checkpoint the exploration into it")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint period (default 5s)")
 		resume    = flag.String("resume", "", "resume the exploration recorded in this run directory")
+		ledgerF   = flag.String("ledger", "", "join (or create) the multi-process work ledger in this run directory and explore cooperatively")
+		workerID  = flag.String("worker-id", "", "name of this ledger participant (default host:pid); must be unique among live participants")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "ledger lease time-to-live when creating a ledger (default 5s); later joiners adopt the creator's TTL")
+		finalizeF = flag.String("ledger-finalize", "", "merge the drained work ledger in this run directory into the final verdict, then exit")
 		jsonOut   = flag.Bool("json", false, "emit the counterexample trace as JSON")
 		diagram   = flag.Bool("diagram", false, "render the counterexample as a space-time diagram")
 		httpAddr  = flag.String("http", "", "serve live introspection (/metrics, /progress, /pprof/) on this address while exploring, e.g. :6060")
@@ -110,46 +127,52 @@ func main() {
 		return
 	}
 
+	if *resume != "" && *checkpt != "" {
+		fail("use either -checkpoint (new run) or -resume (existing run), not both")
+	}
+	if *ledgerF != "" && (*checkpt != "" || *resume != "") {
+		fail("the work ledger is the durable state of a distributed run; -ledger cannot be combined with -checkpoint or -resume")
+	}
+	if *finalizeF != "" && (*ledgerF != "" || *checkpt != "" || *resume != "") {
+		fail("-ledger-finalize merges a finished run on its own; combine it only with output flags")
+	}
+
+	// The manifest carries the flags a run was created with; resume, ledger
+	// joiners, and finalize reconstruct the protocol from it and refuse
+	// contradictions, so `modelcheck -resume dir` (or `-ledger dir`,
+	// `-ledger-finalize dir`) alone always continues the right exploration.
+	restore := map[string]func(string){
+		"proto":     func(v string) { *protoName = v },
+		"f":         func(v string) { *f = atoi(v) },
+		"t":         func(v string) { *t = atoi(v) },
+		"n":         func(v string) { *n = atoi(v) },
+		"fault":     func(v string) { *kindName = v },
+		"unbounded": func(v string) { *unbounded = v == "true" },
+		"faulty":    func(v string) { *faulty = atoi(v) },
+		"dedup":     func(v string) { *dedup = v == "true" },
+		"engine":    func(v string) { *engine = v },
+	}
 	var st *store.Store
 	if *resume != "" {
-		if *checkpt != "" {
-			fail("use either -checkpoint (new run) or -resume (existing run), not both")
-		}
 		var err error
 		if st, err = store.Open(*resume); err != nil {
 			fail("%v", err)
 		}
-		// The manifest carries the flags the run was created with; resume
-		// reconstructs the protocol from them and refuses contradictions,
-		// so `modelcheck -resume dir` alone always continues the right
-		// exploration.
-		m := st.Manifest()
-		restore := map[string]func(string){
-			"proto":     func(v string) { *protoName = v },
-			"f":         func(v string) { *f = atoi(v) },
-			"t":         func(v string) { *t = atoi(v) },
-			"n":         func(v string) { *n = atoi(v) },
-			"fault":     func(v string) { *kindName = v },
-			"unbounded": func(v string) { *unbounded = v == "true" },
-			"faulty":    func(v string) { *faulty = atoi(v) },
-			"dedup":     func(v string) { *dedup = v == "true" },
-			"engine":    func(v string) { *engine = v },
-		}
-		explicit := map[string]bool{}
-		flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
-		for name, set := range restore {
-			v, ok := m.Extra[name]
-			if !ok {
-				continue
-			}
-			if explicit[name] {
-				cur := flagValue(name)
-				if cur != v {
-					fail("-%s %s contradicts the run manifest (%s=%s); a run directory resumes only with the settings it was created with", name, cur, name, v)
-				}
-				continue
-			}
-			set(v)
+		applyManifest(st.Manifest().Extra, restore)
+	}
+	if dir := *ledgerF + *finalizeF; dir != "" {
+		// Exactly one of the two is set (checked above). The first worker on
+		// an empty directory commits its own flags as the manifest; everyone
+		// after it — and finalize always — adopts the stored settings.
+		sm, err := store.OpenShared(dir)
+		switch {
+		case err == nil:
+			applyManifest(sm.Manifest().Extra, restore)
+			sm.Close()
+		case errors.Is(err, fs.ErrNotExist) && *finalizeF == "":
+			// First participant: this process's flags create the run.
+		default:
+			fail("%v", err)
 		}
 	}
 
@@ -214,6 +237,13 @@ func main() {
 		run.WithExecMode(execMode),
 	))
 
+	if *finalizeF != "" {
+		finalizeLedger(cfg, *finalizeF, proto, execLabel, ids, perObject, *n,
+			*jsonOut, *diagram, *reportOut,
+			settingsMeta(*protoName, *kindName, *engine, execLabel, *f, *t, *n, *faulty, *unbounded, *dedup))
+		return
+	}
+
 	if st != nil {
 		m, err := explore.ManifestFor(cfg, false, *dedup)
 		if err != nil {
@@ -232,6 +262,42 @@ func main() {
 		if st, err = store.Create(*checkpt, m); err != nil {
 			fail("%v", err)
 		}
+	}
+	var led *ledger.Ledger
+	if *ledgerF != "" {
+		id := *workerID
+		if id == "" {
+			host, err := os.Hostname()
+			if err != nil || host == "" {
+				host = "worker"
+			}
+			id = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		var err error
+		if led, _, err = ledger.Join(*ledgerF, id, *leaseTTL); err != nil {
+			fail("%v", err)
+		}
+		// Bind the run directory to these settings: the first participant
+		// commits the manifest; racing losers and later joiners verify
+		// against it, so two processes can never sweep different execution
+		// spaces into one ledger.
+		m, err := explore.ManifestFor(cfg, false, *dedup)
+		if err != nil {
+			fail("%v", err)
+		}
+		m.Extra = settingsMeta(*protoName, *kindName, *engine, execLabel, *f, *t, *n, *faulty, *unbounded, *dedup)
+		m.LedgerEpoch = led.Epoch()
+		sm, err := store.CreateShared(*ledgerF, m)
+		if errors.Is(err, fs.ErrExist) {
+			if sm, err = store.OpenShared(*ledgerF); err != nil {
+				fail("%v", err)
+			}
+			err = sm.Verify(m)
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		sm.Close()
 	}
 
 	// SIGINT/SIGTERM cancel the exploration context instead of killing the
@@ -273,6 +339,7 @@ func main() {
 		Workers:         *workers,
 		Dedup:           *dedup,
 		Store:           st,
+		Ledger:          led,
 		CheckpointEvery: *ckptEvery,
 		Metrics:         reg,
 		Events:          events,
@@ -298,6 +365,15 @@ func main() {
 	}
 	if *progress > 0 || *httpAddr != "" {
 		eng.Progress = func(p explore.Progress) { rep.tick(p, *progress > 0) }
+		if led != nil && *progress > 0 {
+			// On a ledger run each progress tick also reports the fleet:
+			// who has joined, which leases are live or forfeited, and how
+			// much is already merged into published results.
+			eng.Progress = func(p explore.Progress) {
+				rep.tick(p, true)
+				rep.ledgerLine(*ledgerF)
+			}
+		}
 	}
 	if *httpAddr != "" {
 		addr, shutdown, err := obs.Serve(*httpAddr, obs.Handler(reg, rep.latest))
@@ -386,8 +462,26 @@ func main() {
 			fmt.Printf("checkpoint  : finished run recorded in %s\n", dir)
 		}
 	}
+	if led != nil {
+		if rs, rserr := ledger.Status(*ledgerF); rserr == nil {
+			if rs.Drained {
+				fmt.Printf("ledger      : drained — %d participant(s), %d subtree result(s) in %s\n",
+					len(rs.Participants), rs.Results, *ledgerF)
+			} else {
+				fmt.Printf("ledger      : %d task(s) pending, %d live / %d expired lease(s) in %s\n",
+					rs.TasksPending, rs.LeasesLive, rs.LeasesExpired, *ledgerF)
+			}
+		}
+	}
 
 	if out.Violation == nil {
+		if led != nil {
+			// This worker's published claims hold no counterexample, but
+			// another participant's might: the authoritative verdict is the
+			// merged fold over every published result.
+			fmt.Printf("result      : WORKER DONE — merged verdict via: modelcheck -ledger-finalize %s\n", *ledgerF)
+			return
+		}
 		switch {
 		case out.Complete:
 			fmt.Println("result      : VERIFIED — no execution violates consensus")
@@ -486,6 +580,19 @@ func (r *progressReporter) line(p explore.Progress) {
 	fmt.Fprintln(r.w)
 }
 
+// ledgerLine renders the fleet view of a ledger run underneath the local
+// progress line: participants, lease liveness, and the merged totals so far.
+func (r *progressReporter) ledgerLine(dir string) {
+	rs, err := ledger.Status(dir)
+	if err != nil {
+		return // the ledger is being torn down or not yet created; skip the line
+	}
+	fmt.Fprintf(r.w, "ledger:   %d participant(s) %v, %d live / %d expired lease(s), %d task(s) pending, %d result(s) merged (%d executions, %d violations)\n",
+		len(rs.Participants), rs.Participants, rs.LeasesLive, rs.LeasesExpired,
+		rs.TasksPending, rs.Results, rs.MergedExecutions, rs.MergedViolations)
+	r.flush()
+}
+
 func (r *progressReporter) flush() { r.w.Flush() } //nolint:errcheck // stderr
 
 // settingsMeta renders the run settings as the flat string map shared by
@@ -506,6 +613,86 @@ func settingsMeta(protoName, kindName, engine, exec string, f, t, n, faulty int,
 		"engine":    strings.ToLower(engine),
 		"exec":      exec,
 	}
+}
+
+// finalizeLedger merges the drained work ledger in dir into the final
+// verdict and renders it exactly as a single-process run would: VERIFIED
+// exits 0, a violation prints the replayed counterexample and exits 1, and
+// an incomplete ledger (pending tasks or leases) reports who is still
+// working and exits 2.
+func finalizeLedger(cfg explore.Config, dir string, proto core.Protocol, execLabel string,
+	ids []int, perObject, n int, jsonOut, diagram bool, reportOut string, meta map[string]string) {
+	out, merged, err := explore.FinalizeLedger(cfg, dir, false)
+	var inc *ledger.IncompleteError
+	if errors.As(err, &inc) {
+		if rs, serr := ledger.Status(dir); serr == nil {
+			fmt.Fprintf(os.Stderr, "modelcheck: participants %v, %d live / %d expired lease(s), %d result(s) published so far\n",
+				rs.Participants, rs.LeasesLive, rs.LeasesExpired, rs.Results)
+		}
+		fail("%v", err)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if reportOut != "" {
+		// The finalize report mirrors the single-process -report so
+		// scripts/bench.sh consumes either: merged counters stand in for
+		// the live registry, and the fleet shape rides in the Run section.
+		reg := obs.NewRegistry()
+		reg.Counter("explore.violations").Add(merged.Violations)
+		meta["workers"] = strconv.Itoa(out.Workers)
+		meta["ledger_participants"] = strconv.Itoa(len(merged.Participants))
+		meta["ledger_results"] = strconv.Itoa(merged.Results)
+		meta["ledger_reclaims"] = strconv.FormatInt(merged.Reclaims, 10)
+		meta["ledger_total_work_ns"] = strconv.FormatInt(merged.TotalWorkNS, 10)
+		if err := obs.WriteReport(reportOut, buildReport(out, reg, nil, meta)); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	fmt.Printf("protocol    : %s (%s form)\n", proto.Name(), execLabel)
+	fmt.Printf("processes   : %d, faulty objects: %v, faults/object: %s\n", n, ids, tString(perObject))
+	fmt.Printf("executions  : %d (complete: %v)\n", out.Executions, out.Complete)
+	fmt.Printf("max steps   : %d per process, max faults: %d per execution\n",
+		out.MaxProcSteps, out.MaxFaults)
+	fmt.Printf("ledger      : %d participant(s) %v, %d subtree result(s) merged, %d reclaimed\n",
+		len(merged.Participants), merged.Participants, merged.Results, merged.Reclaims)
+	if merged.TotalWorkNS > 0 {
+		fmt.Printf("ledger      : %s longest claim, %s total fleet work\n",
+			time.Duration(merged.ElapsedNS).Round(time.Millisecond),
+			time.Duration(merged.TotalWorkNS).Round(time.Millisecond))
+	}
+	if merged.DedupSaved > 0 || merged.DedupHits > 0 {
+		fmt.Printf("dedup       : %d replays pruned, %d executions saved (per-process caches)\n",
+			merged.DedupHits, merged.DedupSaved)
+	}
+
+	if out.Violation == nil {
+		if out.Complete {
+			fmt.Println("result      : VERIFIED — no execution violates consensus")
+			return
+		}
+		fmt.Println("result      : NO VIOLATION FOUND (a participant hit its execution cap; re-run with a higher -max for certainty)")
+		return
+	}
+	fmt.Printf("result      : VIOLATION (%s)\n", out.Violation.Verdict.Violation)
+	fmt.Println()
+	if diagram {
+		fmt.Print(out.Violation.Trace.Diagram())
+		fmt.Println()
+	}
+	if jsonOut {
+		data, err := json.MarshalIndent(out.Violation.Trace, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	} else {
+		fmt.Print(out.Violation.String())
+	}
+	os.Exit(1)
 }
 
 // buildReport renders the finished run as the machine-readable report
@@ -604,6 +791,28 @@ func atoi(s string) int {
 		fail("corrupt manifest value %q: %v", s, err)
 	}
 	return v
+}
+
+// applyManifest restores flag values from a run manifest's Extra map,
+// refusing explicitly-set flags that contradict it — a run directory
+// continues only with the settings it was created with.
+func applyManifest(extra map[string]string, restore map[string]func(string)) {
+	explicit := map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+	for name, set := range restore {
+		v, ok := extra[name]
+		if !ok {
+			continue
+		}
+		if explicit[name] {
+			cur := flagValue(name)
+			if cur != v {
+				fail("-%s %s contradicts the run manifest (%s=%s); a run directory resumes only with the settings it was created with", name, cur, name, v)
+			}
+			continue
+		}
+		set(v)
+	}
 }
 
 // flagValue renders the current value of a named flag for conflict messages.

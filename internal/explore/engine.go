@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dedup"
 	"repro/internal/fault"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -88,6 +89,16 @@ type Engine struct {
 	// lease instead of once per leaf. Larger leases cut cross-core traffic
 	// further but make mid-run progress and checkpoint counters staler.
 	LeaseSize int
+	// Ledger, when non-nil, switches Check to distributed mode: instead of
+	// seeding its frontier with the whole execution tree, the engine claims
+	// subtree tasks from the multi-process work ledger, runs each claim with
+	// its full in-process worker pool, publishes the claim's outcome at the
+	// lease boundary, and exports surplus subtrees for other OS processes to
+	// claim. Checkpointing (Store) is mutually exclusive with Ledger — the
+	// ledger's published results ARE the durable state, and a worker crash
+	// loses at most one lease of work. See internal/ledger and
+	// Engine.FinalizeLedger.
+	Ledger *ledger.Ledger
 	// Tracer, when non-nil, captures executions as durable trace artifacts:
 	// every violation (up to MaxViolationCaptures) and a 1-in-N sample of
 	// passing runs are written as trace/v1 + Perfetto files, and the
@@ -218,6 +229,9 @@ type engineRun struct {
 // field (see the Engine doc comment). When ctx is cancelled or its deadline
 // passes, the partial outcome is returned together with ctx.Err().
 func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
+	if e.Ledger != nil {
+		return e.checkLedger(ctx, cfg)
+	}
 	kind, cap, compiled, err := cfg.prepare()
 	if err != nil {
 		return nil, err

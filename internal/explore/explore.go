@@ -18,11 +18,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dedup"
 	"repro/internal/fault"
+	"repro/internal/ledger"
 	"repro/internal/object"
 	"repro/internal/run"
 	"repro/internal/sim"
@@ -286,6 +289,15 @@ func CheckWith(ctx context.Context, opts ...run.Option) (*Outcome, error) {
 	}
 	cfg := ConfigFrom(s)
 	switch {
+	case s.LedgerDir != "":
+		if s.Resume != "" || s.CheckpointDir != "" {
+			return nil, fmt.Errorf("explore: the work ledger is the durable state of a distributed run; it cannot be combined with checkpointing or resume")
+		}
+		l, err := JoinLedger(cfg, s, eng.Exhaustive, eng.Dedup)
+		if err != nil {
+			return nil, err
+		}
+		eng.Ledger = l
 	case s.Resume != "":
 		st, err := store.Open(s.Resume)
 		if err != nil {
@@ -293,9 +305,11 @@ func CheckWith(ctx context.Context, opts ...run.Option) (*Outcome, error) {
 		}
 		m, err := ManifestFor(cfg, eng.Exhaustive, eng.Dedup)
 		if err != nil {
+			st.Close()
 			return nil, err
 		}
 		if err := st.Verify(m); err != nil {
+			st.Close()
 			return nil, err
 		}
 		eng.Store = st
@@ -313,6 +327,9 @@ func CheckWith(ctx context.Context, opts ...run.Option) (*Outcome, error) {
 	if s.TraceDir != "" {
 		tr, err := NewTracerFor(s)
 		if err != nil {
+			if eng.Store != nil {
+				eng.Store.Close()
+			}
 			return nil, err
 		}
 		eng.Tracer = tr
@@ -321,7 +338,59 @@ func CheckWith(ctx context.Context, opts ...run.Option) (*Outcome, error) {
 	if cerr := eng.Tracer.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
+	if eng.Store != nil {
+		// Release the run-directory owner lock so a later process (or a
+		// resume) is not refused while this one lingers.
+		if cerr := eng.Store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return out, err
+}
+
+// WorkerIDFor returns the effective ledger participant id for the settings:
+// the configured WorkerID, or the canonical "host:pid" default.
+func WorkerIDFor(s *run.Settings) string {
+	if s.WorkerID != "" {
+		return s.WorkerID
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s:%d", host, os.Getpid())
+}
+
+// JoinLedger joins (or creates) the work ledger in s.LedgerDir and binds the
+// run directory to these settings: the first participant commits a manifest
+// carrying the ledger epoch; every later participant must present identical
+// settings and is refused (store.ErrMismatch) otherwise — two processes
+// silently sweeping different execution spaces into one ledger would merge
+// to garbage.
+func JoinLedger(cfg Config, s *run.Settings, exhaustive, dedup bool) (*ledger.Ledger, error) {
+	l, _, err := ledger.Join(s.LedgerDir, WorkerIDFor(s), s.LeaseTTL)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ManifestFor(cfg, exhaustive, dedup)
+	if err != nil {
+		return nil, err
+	}
+	m.LedgerEpoch = l.Epoch()
+	st, err := store.CreateShared(s.LedgerDir, m)
+	if errors.Is(err, fs.ErrExist) {
+		if st, err = store.OpenShared(s.LedgerDir); err != nil {
+			return nil, err
+		}
+		if verr := st.Verify(m); verr != nil {
+			st.Close()
+			return nil, verr
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	st.Close()
+	return l, nil
 }
 
 // Check exhaustively explores the execution tree and returns the outcome.

@@ -173,6 +173,40 @@ func (f *frontier) snapshot() []task {
 	return out
 }
 
+// takeOldest removes the OLDEST queued task — the shallowest root, i.e. the
+// largest subtree on offer — for export to the multi-process work ledger.
+// The exporter counts as busy until settleExport, so the frontier cannot
+// report drained while the task is in flight between pool and ledger (a
+// worker publishing its claim's result must never leave an in-flight task
+// uncovered).
+func (f *frontier) takeOldest() (task, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || len(f.stack) == 0 {
+		return task{}, false
+	}
+	t := f.stack[0]
+	copy(f.stack, f.stack[1:])
+	f.stack = f.stack[:len(f.stack)-1]
+	f.size.Store(int64(len(f.stack)))
+	f.busy++
+	return t, true
+}
+
+// settleExport completes a takeOldest: returned is nil when the task was
+// committed to the ledger, or the task itself when the export failed and it
+// must go back to the local pool.
+func (f *frontier) settleExport(returned *task) {
+	f.mu.Lock()
+	if returned != nil {
+		f.stack = append(f.stack, *returned)
+		f.size.Store(int64(len(f.stack)))
+	}
+	f.busy--
+	f.mu.Unlock()
+	f.wait.Broadcast()
+}
+
 // starving reports that the pool has fewer pending tasks than the low-water
 // mark, asking busy workers to donate a subtree.
 func (f *frontier) starving(lowWater int) bool {

@@ -1,0 +1,281 @@
+package ledger
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Merged is the deterministic fold of every live published result: the
+// verdict a single-process run over the same tree would report. For a
+// covering (verified) sweep with dedup off the execution count is exact;
+// dedup keeps its per-process caches, so counts are "modulo dedup";
+// violating sweeps may count more executions than one process (the pruning
+// bound is not shared across processes) but the best counterexample is
+// identical — every process keeps its claim's mode-least candidate and the
+// fold takes the global least.
+type Merged struct {
+	Executions   int64 `json:"executions"`
+	Violations   int64 `json:"violations"`
+	MaxProcSteps int   `json:"max_proc_steps"`
+	MaxFaults    int   `json:"max_faults"`
+	Capped       bool  `json:"capped"`
+
+	HasBest  bool  `json:"has_best,omitempty"`
+	BestPath []int `json:"best_path,omitempty"`
+	BestLen  int   `json:"best_len,omitempty"`
+
+	Participants []string `json:"participants"` // distinct result owners, sorted
+	Results      int      `json:"results"`      // live result records folded
+	Reclaims     int64    `json:"reclaims"`     // superseded results excluded
+	DedupHits    int64    `json:"dedup_hits,omitempty"`
+	DedupSaved   int64    `json:"dedup_saved,omitempty"`
+	// ElapsedNS is the longest single claim (a lower bound on wall clock);
+	// TotalWorkNS sums every claim's elapsed time (the fleet's CPU spend).
+	ElapsedNS   int64 `json:"elapsed_ns"`
+	TotalWorkNS int64 `json:"total_work_ns"`
+}
+
+// IncompleteError reports a merge attempted while work remains: unclaimed
+// tasks, leases still live, or expired leases no surviving participant has
+// reclaimed yet (rejoin a worker, or re-run finalize after TTL with
+// reclamation enabled).
+type IncompleteError struct {
+	Tasks         int // unclaimed, unsuperseded task files
+	LiveLeases    int // leases within their TTL
+	ExpiredLeases int // leases past expiry with no published result
+}
+
+func (e *IncompleteError) Error() string {
+	return fmt.Sprintf("ledger: exploration incomplete: %d unclaimed tasks, %d live leases, %d expired unreclaimed leases",
+		e.Tasks, e.LiveLeases, e.ExpiredLeases)
+}
+
+// Merge folds all published results in runDir's ledger into one verdict.
+// exhaustive selects the counterexample ordering (shortest schedule, then
+// lexicographic path — matching explore.Engine's Exhaustive mode); default
+// mode orders by lexicographic path alone. Merge never mutates the ledger,
+// so it is safe to run concurrently with live participants — it fails with
+// *IncompleteError until they drain.
+func Merge(runDir string, exhaustive bool) (*Merged, error) {
+	l, err := inspect(runDir)
+	if err != nil {
+		return nil, err
+	}
+	st, err := l.scan()
+	if err != nil {
+		return nil, err
+	}
+
+	// Incompleteness: any live (unsuperseded) task or any lease means the
+	// partition of the tree into (pending ∪ claimed ∪ published) still has
+	// pending or claimed regions.
+	inc := IncompleteError{}
+	for id, t := range st.tasks {
+		if !st.resultAtOrAbove(id, t.Epoch) && !st.superseded(id, t.Epoch, t.Lineage) {
+			inc.Tasks++
+		}
+	}
+	now := l.now().UnixNano()
+	for id, ls := range st.leases {
+		if st.resultAtOrAbove(id, ls.Epoch) || st.superseded(id, ls.Epoch, ls.Lineage) {
+			continue // cleanup debris, not pending work
+		}
+		if ls.ExpiresUnixNano > now {
+			inc.LiveLeases++
+		} else {
+			inc.ExpiredLeases++
+		}
+	}
+	if inc.Tasks+inc.LiveLeases+inc.ExpiredLeases > 0 {
+		return nil, &inc
+	}
+
+	// Fold live results in sorted id order (determinism is by construction
+	// — every fold operation is commutative — but a stable order keeps any
+	// tie-breaking future-proof).
+	ids := make([]string, 0, len(st.results))
+	for id := range st.results {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	m := &Merged{}
+	owners := map[string]bool{}
+	for _, id := range ids {
+		epochs := st.results[id]
+		top := epochs[0]
+		for _, e := range epochs[1:] {
+			if e > top {
+				top = e
+			}
+		}
+		m.Reclaims += int64(len(epochs) - 1)
+		var r Result
+		if !readJSON(filepath.Join(l.dir, resultsDir, resultName(id, top)), &r) {
+			return nil, fmt.Errorf("ledger: unreadable result %s", resultName(id, top))
+		}
+		if st.superseded(r.ID, r.Epoch, r.Lineage) {
+			m.Reclaims++
+			continue // a dead lineage's orphan: its region was re-run
+		}
+		m.Results++
+		owners[r.Owner] = true
+		m.Executions += r.Executions
+		m.Violations += r.Violations
+		if r.MaxProcSteps > m.MaxProcSteps {
+			m.MaxProcSteps = r.MaxProcSteps
+		}
+		if r.MaxFaults > m.MaxFaults {
+			m.MaxFaults = r.MaxFaults
+		}
+		m.Capped = m.Capped || r.Capped
+		m.DedupHits += r.DedupHits
+		m.DedupSaved += r.DedupSaved
+		if r.ElapsedNS > m.ElapsedNS {
+			m.ElapsedNS = r.ElapsedNS
+		}
+		m.TotalWorkNS += r.ElapsedNS
+		if r.HasBest && better(&r, m, exhaustive) {
+			m.HasBest = true
+			m.BestPath = append([]int(nil), r.BestPath...)
+			m.BestLen = r.BestLen
+		}
+	}
+	if m.Results == 0 {
+		return nil, fmt.Errorf("ledger: no live results in %s", l.dir)
+	}
+	for o := range owners {
+		m.Participants = append(m.Participants, o)
+	}
+	sort.Strings(m.Participants)
+	return m, nil
+}
+
+// better reports whether candidate r beats the current merged best under
+// the engine's counterexample ordering.
+func better(r *Result, m *Merged, exhaustive bool) bool {
+	if !m.HasBest {
+		return true
+	}
+	if exhaustive && r.BestLen != m.BestLen {
+		return r.BestLen < m.BestLen
+	}
+	return lexLess(r.BestPath, m.BestPath)
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// LeaseStatus is one lease as seen by Status.
+type LeaseStatus struct {
+	ID      string `json:"id"`
+	Owner   string `json:"owner"`
+	Epoch   int64  `json:"epoch"`
+	Expired bool   `json:"expired"`
+}
+
+// RunStatus is a read-only snapshot of a ledger run for progress UX: who
+// has participated, what is claimed or pending, and how much is already
+// merged into published results.
+type RunStatus struct {
+	LedgerEpoch      int64         `json:"ledger_epoch"`
+	Participants     []string      `json:"participants"` // owners across leases + results, sorted
+	TasksPending     int           `json:"tasks_pending"`
+	LeasesLive       int           `json:"leases_live"`
+	LeasesExpired    int           `json:"leases_expired"`
+	Leases           []LeaseStatus `json:"leases,omitempty"`
+	Results          int           `json:"results"`
+	MergedExecutions int64         `json:"merged_executions"` // over live results
+	MergedViolations int64         `json:"merged_violations"`
+	Drained          bool          `json:"drained"` // ready to finalize
+}
+
+// Status inspects runDir's ledger without joining or mutating it.
+func Status(runDir string) (*RunStatus, error) {
+	l, err := inspect(runDir)
+	if err != nil {
+		return nil, err
+	}
+	st, err := l.scan()
+	if err != nil {
+		return nil, err
+	}
+	rs := &RunStatus{LedgerEpoch: l.epoch}
+	owners := map[string]bool{}
+	now := l.now().UnixNano()
+	for id, t := range st.tasks {
+		if !st.resultAtOrAbove(id, t.Epoch) && !st.superseded(id, t.Epoch, t.Lineage) {
+			rs.TasksPending++
+		}
+	}
+	var leaseIDs []string
+	for id := range st.leases {
+		leaseIDs = append(leaseIDs, id)
+	}
+	sort.Strings(leaseIDs)
+	for _, id := range leaseIDs {
+		ls := st.leases[id]
+		owners[ls.Owner] = true
+		expired := ls.ExpiresUnixNano <= now
+		if expired {
+			rs.LeasesExpired++
+		} else {
+			rs.LeasesLive++
+		}
+		rs.Leases = append(rs.Leases, LeaseStatus{ID: id, Owner: ls.Owner, Epoch: ls.Epoch, Expired: expired})
+	}
+	for id, epochs := range st.results {
+		top := epochs[0]
+		for _, e := range epochs[1:] {
+			if e > top {
+				top = e
+			}
+		}
+		var r Result
+		if !readJSON(filepath.Join(l.dir, resultsDir, resultName(id, top)), &r) {
+			continue
+		}
+		if st.superseded(r.ID, r.Epoch, r.Lineage) {
+			continue
+		}
+		rs.Results++
+		owners[r.Owner] = true
+		rs.MergedExecutions += r.Executions
+		rs.MergedViolations += r.Violations
+	}
+	for o := range owners {
+		rs.Participants = append(rs.Participants, o)
+	}
+	sort.Strings(rs.Participants)
+	rs.Drained = rs.TasksPending == 0 && len(st.leases) == 0 && rs.Results > 0
+	return rs, nil
+}
+
+// inspect builds a read-only handle on an existing ledger: the marker must
+// already exist (use Join to create one).
+func inspect(runDir string) (*Ledger, error) {
+	dir := filepath.Join(runDir, ledgerDir)
+	if _, err := os.Stat(filepath.Join(dir, markerFile)); err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoLedger, runDir)
+	}
+	mk, err := readMarker(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Ledger{
+		dir:   dir,
+		owner: "(inspect)",
+		epoch: mk.LedgerEpoch,
+		ttl:   time.Duration(mk.LeaseTTLNS),
+		now:   time.Now,
+	}, nil
+}

@@ -15,8 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/dedup"
@@ -30,6 +32,7 @@ const FormatVersion = 1
 const (
 	manifestFile   = "manifest.json"
 	checkpointFile = "checkpoint.json"
+	lockFile       = "owner.json"
 )
 
 // Manifest pins down what a run directory explores. Every field that
@@ -59,6 +62,14 @@ type Manifest struct {
 	// Advisory (not hashed): tuning that does not change the verdict.
 	MaxExecutions int  `json:"max_executions"`
 	Dedup         bool `json:"dedup"`
+
+	// LedgerEpoch identifies the ledger incarnation when the run directory
+	// doubles as a multi-process work ledger (see internal/ledger): the
+	// creating participant stamps it from the ledger marker so a finalize
+	// can be matched to the worker fleet that produced it. Zero for
+	// single-process runs. Advisory (not hashed): joining workers verify
+	// the hashed settings, the epoch only identifies the fleet.
+	LedgerEpoch int64 `json:"ledger_epoch,omitempty"`
 
 	// Extra carries driver-specific reconstruction data (e.g. the CLI
 	// flags that built the protocol). Not hashed.
@@ -120,6 +131,7 @@ type Store struct {
 	manifest Manifest
 	cp       *Checkpoint
 	seq      int
+	locked   bool // this handle holds the owner lock; Close releases it
 
 	// Observability, attached via Instrument; all nil-safe.
 	events    *obs.Log
@@ -146,15 +158,131 @@ func (s *Store) Instrument(reg *obs.Registry, events *obs.Log) {
 // settings of the exploration trying to resume it.
 var ErrMismatch = errors.New("store: run settings do not match the manifest")
 
-// Create initializes a new run directory with the given manifest. It fails
-// if the directory already contains a manifest — resuming must go through
-// Open so the settings check cannot be bypassed.
+// ErrLocked reports that a run directory is exclusively held by another live
+// process. Match with errors.Is; the concrete *LockedError carries the
+// holder's identity.
+var ErrLocked = errors.New("store: run directory is held by another live process")
+
+// LockedError is the typed form of ErrLocked: opening a run directory whose
+// owner lock names a process that is still alive.
+type LockedError struct {
+	Dir   string // the run directory
+	PID   int    // the live holder
+	Since string // when the holder took the lock (RFC3339)
+}
+
+func (e *LockedError) Error() string {
+	return fmt.Sprintf("store: %s is held by live process %d (since %s); use a ledger run for multi-process access", e.Dir, e.PID, e.Since)
+}
+
+func (e *LockedError) Unwrap() error { return ErrLocked }
+
+// ownerLock is the on-disk owner record. The epoch disambiguates PID reuse
+// across reboots well enough for an advisory lock: a stale lock whose PID is
+// dead is silently replaced.
+type ownerLock struct {
+	PID       int    `json:"pid"`
+	Epoch     int64  `json:"epoch"` // unix nanoseconds at acquisition
+	CreatedAt string `json:"created_at"`
+}
+
+// acquireLock takes the run directory's exclusive owner lock. A lock held by
+// this same process is reused (sequential Create→Open in one process is
+// normal); a lock whose PID is dead is replaced; a lock whose PID is alive
+// yields *LockedError.
+func acquireLock(dir string) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		rec := ownerLock{
+			PID:       os.Getpid(),
+			Epoch:     time.Now().UnixNano(),
+			CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		}
+		data, err := json.Marshal(&rec)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		err = CreateExclusive(dir, lockFile, data)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return err
+		}
+		held, err := os.ReadFile(filepath.Join(dir, lockFile))
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // released between link and read; retry
+			}
+			return fmt.Errorf("store: %w", err)
+		}
+		var cur ownerLock
+		if err := json.Unmarshal(held, &cur); err != nil || cur.PID == 0 {
+			// Corrupt lock: replace it rather than brick the run dir.
+			os.Remove(filepath.Join(dir, lockFile))
+			continue
+		}
+		if cur.PID == os.Getpid() {
+			return nil // our own lock (earlier handle in this process)
+		}
+		if pidAlive(cur.PID) {
+			return &LockedError{Dir: dir, PID: cur.PID, Since: cur.CreatedAt}
+		}
+		// Stale lock from a dead process (e.g. SIGKILL): replace it.
+		os.Remove(filepath.Join(dir, lockFile))
+	}
+	return fmt.Errorf("store: could not acquire owner lock in %s (lock churn)", dir)
+}
+
+// pidAlive reports whether a process with the given PID exists. Signal 0
+// probes without delivering; EPERM still proves existence.
+func pidAlive(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// Close releases the owner lock taken by Create/Open. Shared handles and
+// already-closed handles are no-ops. The run directory's contents are
+// unaffected — every write was already durable when Save returned.
+func (s *Store) Close() error {
+	if !s.locked {
+		return nil
+	}
+	s.locked = false
+	if err := os.Remove(filepath.Join(s.dir, lockFile)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Create initializes a new run directory with the given manifest and takes
+// its exclusive owner lock (release with Close). It fails if the directory
+// already contains a manifest — resuming must go through Open so the
+// settings check cannot be bypassed.
 func Create(dir string, m Manifest) (*Store, error) {
+	return create(dir, m, true)
+}
+
+// CreateShared is Create without the exclusive owner lock, for cooperating
+// ledger participants that intentionally share the run directory. The
+// manifest commit is link-exclusive, so racing creators resolve to exactly
+// one winner; losers get an error and should OpenShared + Verify instead.
+func CreateShared(dir string, m Manifest) (*Store, error) {
+	return create(dir, m, false)
+}
+
+func create(dir string, m Manifest, lock bool) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, manifestFile)); err == nil {
-		return nil, fmt.Errorf("store: %s already holds a run (resume it, or choose a fresh directory)", dir)
+	// Durability: the rename discipline inside writeFileAtomic fsyncs the
+	// run directory, but the run directory's own creation lives in its
+	// parent — sync that too, or a crash can lose the whole run dir entry.
+	if err := syncDir(filepath.Dir(dir)); err != nil {
+		return nil, err
 	}
 	m.FormatVersion = FormatVersion
 	m.SettingsHash = m.Hash()
@@ -165,15 +293,37 @@ func Create(dir string, m Manifest) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if err := writeFileAtomic(dir, manifestFile, data); err != nil {
+	if err := CreateExclusive(dir, manifestFile, data); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return nil, fmt.Errorf("store: %s already holds a run (resume it, or choose a fresh directory): %w", dir, fs.ErrExist)
+		}
 		return nil, err
 	}
-	return &Store{dir: dir, manifest: m}, nil
+	s := &Store{dir: dir, manifest: m}
+	if lock {
+		if err := acquireLock(dir); err != nil {
+			return nil, err
+		}
+		s.locked = true
+	}
+	return s, nil
 }
 
-// Open loads an existing run directory: its manifest and, when present, the
-// latest checkpoint.
+// Open loads an existing run directory — its manifest and, when present, the
+// latest checkpoint — and takes its exclusive owner lock. A directory held
+// by another live process yields *LockedError (errors.Is ErrLocked) instead
+// of silently sharing mutable checkpoint state.
 func Open(dir string) (*Store, error) {
+	return open(dir, true)
+}
+
+// OpenShared is Open without the exclusive owner lock, for cooperating
+// ledger participants and read-only inspectors (progress, finalize).
+func OpenShared(dir string) (*Store, error) {
+	return open(dir, false)
+}
+
+func open(dir string, lock bool) (*Store, error) {
 	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
 		return nil, fmt.Errorf("store: %s holds no run manifest: %w", dir, err)
@@ -191,6 +341,12 @@ func Open(dir string) (*Store, error) {
 			dir, m.SettingsHash, got)
 	}
 	s := &Store{dir: dir, manifest: m}
+	if lock {
+		if err := acquireLock(dir); err != nil {
+			return nil, err
+		}
+		s.locked = true
+	}
 
 	cpData, err := os.ReadFile(filepath.Join(dir, checkpointFile))
 	switch {
@@ -198,10 +354,12 @@ func Open(dir string) (*Store, error) {
 		// A manifest without a checkpoint: the run died before its first
 		// snapshot; resume restarts from the root.
 	case err != nil:
+		s.Close()
 		return nil, fmt.Errorf("store: %w", err)
 	default:
 		var cp Checkpoint
 		if err := json.Unmarshal(cpData, &cp); err != nil {
+			s.Close()
 			return nil, fmt.Errorf("store: corrupt checkpoint in %s: %w", dir, err)
 		}
 		s.cp = &cp
@@ -259,27 +417,74 @@ func (s *Store) Save(cp *Checkpoint) error {
 // writeFileAtomic writes name under dir crash-safely: temp file in the same
 // directory, fsync, rename, directory fsync.
 func writeFileAtomic(dir, name string, data []byte) error {
-	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	tmpName, err := writeTemp(dir, name, data)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return err
 	}
-	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after a successful rename
-
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
 	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	return syncDir(dir)
+}
+
+// WriteFileAtomic is the exported form of the store's crash-safe write
+// discipline (temp file, fsync, rename, directory fsync) for subsystems
+// layered over the run directory, e.g. the work ledger's lease renewals.
+// The rename replaces any existing file.
+func WriteFileAtomic(dir, name string, data []byte) error {
+	return writeFileAtomic(dir, name, data)
+}
+
+// CreateExclusive commits name under dir if and only if no file with that
+// name exists, with the same durability as WriteFileAtomic: the content is
+// written and fsync'd to a temp file, then hard-linked to the target — link
+// is atomic and fails with fs.ErrExist when the target appeared first, so N
+// racing processes resolve to exactly one winner whose content is complete.
+func CreateExclusive(dir, name string, data []byte) error {
+	tmpName, err := writeTemp(dir, name, data)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpName)
+	if err := os.Link(tmpName, filepath.Join(dir, name)); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return fmt.Errorf("store: %s: %w", name, fs.ErrExist)
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// writeTemp writes data to a fresh temp file in dir, fsync'd and closed,
+// returning its path. The caller commits it by rename or link.
+func writeTemp(dir, name string, data []byte) (string, error) {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("store: %w", err)
+	}
+	return tmpName, nil
+}
+
+// syncDir fsyncs a directory so a just-committed rename or link survives a
+// crash: the data was durable before the commit, the directory entry is
+// durable after this.
+func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)

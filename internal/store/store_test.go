@@ -154,6 +154,54 @@ func TestOpenRejectsFutureFormat(t *testing.T) {
 	}
 }
 
+// TestOpenRefusesLiveOwner: a run directory whose owner lock names a live
+// process must be refused with the typed ErrLocked, not silently shared —
+// two processes checkpointing into one directory would corrupt both runs.
+func TestOpenRefusesLiveOwner(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	if _, err := Create(dir, testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	// Forge the lock as another live process: PID 1 always exists.
+	rec, _ := json.Marshal(&ownerLock{PID: 1, CreatedAt: "2026-01-01T00:00:00Z"})
+	if err := os.WriteFile(filepath.Join(dir, lockFile), rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir)
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("err = %v, want ErrLocked", err)
+	}
+	var le *LockedError
+	if !errors.As(err, &le) || le.PID != 1 {
+		t.Fatalf("err = %#v, want *LockedError naming PID 1", err)
+	}
+	// Shared handles never contend for the lock.
+	if _, err := OpenShared(dir); err != nil {
+		t.Fatalf("OpenShared under a foreign lock: %v", err)
+	}
+}
+
+// TestOpenReplacesDeadOwnerLock: a lock left by a SIGKILLed process (its PID
+// no longer exists) is stale debris, not a live claim; Open replaces it.
+func TestOpenReplacesDeadOwnerLock(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	if _, err := Create(dir, testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	// A PID above the kernel's default pid_max cannot name a live process.
+	rec, _ := json.Marshal(&ownerLock{PID: 1 << 30, CreatedAt: "2026-01-01T00:00:00Z"})
+	if err := os.WriteFile(filepath.Join(dir, lockFile), rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open over a dead owner's lock: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSaveLeavesNoTempFiles(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "run")
 	s, err := Create(dir, testManifest())
@@ -174,7 +222,17 @@ func TestSaveLeavesNoTempFiles(t *testing.T) {
 			t.Fatalf("temp file left behind: %s", e.Name())
 		}
 	}
+	if len(entries) != 3 {
+		t.Fatalf("run dir holds %d files, want manifest + checkpoint + owner lock", len(entries))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(entries) != 2 {
-		t.Fatalf("run dir holds %d files, want manifest + checkpoint", len(entries))
+		t.Fatalf("run dir holds %d files after Close, want manifest + checkpoint", len(entries))
 	}
 }

@@ -27,6 +27,16 @@
 # honest on a single-core host (annotated single_core_host: true), unlike
 # the worker-scaling block whose efficiency ceiling depends on cores.
 #
+# A fourth pass records the distributed work ledger: the covering slab runs
+# once through a single ledger worker process and once through two
+# concurrent worker processes, both finalized with -ledger-finalize, and
+# the wall clocks, merged execution counts, and the 2-process ratio land
+# under "ledger_scaling" (annotated with the host's core count — on a
+# single-core box two processes time-slice one P, so the honest ceiling is
+# coordination overhead, not speedup). The two merges must agree on the
+# execution count; disagreement prints a warning (scripts/check.sh's ledger
+# gate is the hard equality check).
+#
 # It then runs the same covering-sweep workload once through
 # `modelcheck -report` (with dedup and periodic checkpointing enabled) and
 # embeds the machine-readable report under "report", so the perf
@@ -147,6 +157,34 @@ END {
 }
 ' "$RAW_FORM" > "$SPEEDUP"
 
+echo "== ledger scaling (1 vs 2 cooperating worker processes) =="
+MC="$RUNDIR/modelcheck"
+go build -o "$MC" ./cmd/modelcheck
+LEDGER_ARGS="-proto figure3 -f 1 -t 1 -n 2 -unbounded"
+T0="$(date +%s%N)"
+"$MC" $LEDGER_ARGS -ledger "$RUNDIR/led1" -worker-id solo >/dev/null
+T1="$(date +%s%N)"
+"$MC" $LEDGER_ARGS -ledger "$RUNDIR/led2" -worker-id duo-a >/dev/null &
+LWPID=$!
+"$MC" $LEDGER_ARGS -ledger "$RUNDIR/led2" -worker-id duo-b >/dev/null
+wait "$LWPID"
+T2="$(date +%s%N)"
+"$MC" -ledger-finalize "$RUNDIR/led1" -report "$RUNDIR/led1.json" >/dev/null
+"$MC" -ledger-finalize "$RUNDIR/led2" -report "$RUNDIR/led2.json" >/dev/null
+EX1="$(sed -n 's/^ *"executions": \([0-9]*\),*$/\1/p' "$RUNDIR/led1.json" | head -1)"
+EX2="$(sed -n 's/^ *"executions": \([0-9]*\),*$/\1/p' "$RUNDIR/led2.json" | head -1)"
+if [ "$EX1" != "$EX2" ]; then
+	echo "WARNING: ledger merges disagree: 1-proc $EX1 executions, 2-proc $EX2" >&2
+fi
+W1_MS=$(( (T1 - T0) / 1000000 ))
+W2_MS=$(( (T2 - T1) / 1000000 ))
+LEDGER_JSON="$RUNDIR/ledger_scaling.json"
+awk -v ex1="$EX1" -v ex2="$EX2" -v w1="$W1_MS" -v w2="$W2_MS" -v ncpu="$NCPU" 'BEGIN {
+	printf "{\"executions_1proc\": %d, \"executions_2proc\": %d, \"wall_ms_1proc\": %d, \"wall_ms_2proc\": %d, \"speedup_2proc\": %.4f, \"host_cpus\": %d, \"single_core_host\": %s}\n", \
+		ex1, ex2, w1, w2, (w2 > 0 ? w1 / w2 : 0), ncpu, (ncpu <= 1 ? "true" : "false")
+}' > "$LEDGER_JSON"
+cat "$LEDGER_JSON"
+
 # One instrumented run producing the metric snapshot the bench trajectory
 # records. The workload is the dedup-sweep configuration (staged f=1, t=1,
 # n=2, unbounded faults on every object): its execution tree is finite, so
@@ -168,6 +206,8 @@ go run ./cmd/modelcheck \
 	sed 's/^/  /' "$OVERHEAD"
 	printf '  ,\n  "compiled_speedup":\n'
 	sed 's/^/  /' "$SPEEDUP"
+	printf '  ,\n  "ledger_scaling":\n'
+	sed 's/^/  /' "$LEDGER_JSON"
 	printf '  ,\n  "report":\n'
 	sed 's/^/  /' "$REPORT"
 	printf '}\n'

@@ -44,6 +44,17 @@ go test ./...
 echo "== go test -race (all packages) =="
 go test -race ./...
 
+echo "== ledger gate (multi-process verdict equality, fresh) =="
+# The distributed work ledger must merge to the exact single-process
+# verdict — same execution count, same lex-least counterexample — with
+# participants joining, exporting, dying mid-lease, and being reclaimed.
+# Package tests cover the protocol (fencing, reclaim, lineage supersession);
+# the CLI tests drive real OS processes, SIGKILL one, and compare the
+# finalized verdict against an uninterrupted reference run. Uncached.
+go test -count=1 ./internal/ledger/
+go test -count=1 -run 'TestEngineLedger' ./internal/explore/
+go test -count=1 -run 'TestCLILedger' .
+
 echo "== exec-form equivalence gate (compiled vs interpreted covering sweeps) =="
 # The compiled Stepper machines must enumerate the SAME execution tree as
 # the goroutine-gated reference simulator, leaf for leaf: every protocol
