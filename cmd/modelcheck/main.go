@@ -29,6 +29,15 @@
 //	modelcheck -ledger run/ &                            # settings from the manifest
 //	wait; modelcheck -ledger-finalize run/
 //
+// Fleet observability (docs/MODEL.md, "Fleet observability"): each ledger
+// worker publishes periodic metrics snapshots into the shared run
+// directory; -fleet-status renders the merged fleet view — per-worker
+// liveness, summed counters, flagged anomalies — of any ledger run
+// directory without joining it, and /fleet (JSON) plus /fleet/dashboard
+// (text) serve the same view from any worker's -http endpoint.
+//
+//	modelcheck -fleet-status run/                        # or -fleet-status run/ -json
+//
 // Observability (docs/MODEL.md, "Observability"): -http serves the live
 // metric snapshot, the latest progress report, and pprof while the
 // exploration runs; -events streams the structured run event log as JSONL;
@@ -74,6 +83,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/obs/fleet"
 	"repro/internal/run"
 	"repro/internal/store"
 )
@@ -100,6 +110,8 @@ func main() {
 		workerID  = flag.String("worker-id", "", "name of this ledger participant (default host:pid); must be unique among live participants")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "ledger lease time-to-live when creating a ledger (default 5s); later joiners adopt the creator's TTL")
 		finalizeF = flag.String("ledger-finalize", "", "merge the drained work ledger in this run directory into the final verdict, then exit")
+		fleetF    = flag.String("fleet-status", "", "print the fleet observability view of this ledger run directory (per-worker liveness, merged metrics, anomalies), then exit; -json for the machine-readable view")
+		fleetSnap = flag.Bool("fleet-snapshots", true, "on a ledger run, periodically publish this worker's metrics snapshot into <run>/obs/ for -fleet-status and /fleet")
 		jsonOut   = flag.Bool("json", false, "emit the counterexample trace as JSON")
 		diagram   = flag.Bool("diagram", false, "render the counterexample as a space-time diagram")
 		httpAddr  = flag.String("http", "", "serve live introspection (/metrics, /progress, /pprof/) on this address while exploring, e.g. :6060")
@@ -123,6 +135,26 @@ func main() {
 		}
 		if err := explore.ExplainFileAs(os.Stdout, *explainF, mode); err != nil {
 			fail("%v", err)
+		}
+		return
+	}
+
+	if *fleetF != "" {
+		// One-shot fleet inspection: read-only over the run directory's
+		// worker snapshots and ledger, no worker needed, no join.
+		view, err := fleet.Load(*fleetF)
+		if err != nil {
+			fail("%v", err)
+		}
+		if *jsonOut {
+			data, err := json.MarshalIndent(view, "", "  ")
+			if err != nil {
+				fail("%v", err)
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+		} else {
+			fmt.Print(view.Dashboard())
 		}
 		return
 	}
@@ -340,6 +372,7 @@ func main() {
 		Dedup:           *dedup,
 		Store:           st,
 		Ledger:          led,
+		FleetSnapshots:  *fleetSnap,
 		CheckpointEvery: *ckptEvery,
 		Metrics:         reg,
 		Events:          events,
@@ -368,19 +401,31 @@ func main() {
 		if led != nil && *progress > 0 {
 			// On a ledger run each progress tick also reports the fleet:
 			// who has joined, which leases are live or forfeited, and how
-			// much is already merged into published results.
+			// much is already merged into published results. The status is
+			// served through the fleet aggregator's cache — a full
+			// ledger.Status is a directory scan that grows with task and
+			// result count, so ticks within half a TTL reuse one scan.
+			cache := fleet.NewStatusCache(*ledgerF, led.TTL()/2)
 			eng.Progress = func(p explore.Progress) {
 				rep.tick(p, true)
-				rep.ledgerLine(*ledgerF)
+				rep.ledgerLine(cache)
 			}
 		}
 	}
 	if *httpAddr != "" {
-		addr, shutdown, err := obs.Serve(*httpAddr, obs.Handler(reg, rep.latest))
+		mux := obs.Handler(reg, rep.latest)
+		endpoints := "/metrics /progress /healthz /pprof/"
+		if led != nil {
+			// Any worker can answer for the whole fleet: the view is
+			// rebuilt from the shared run directory per request.
+			fleet.Attach(mux, *ledgerF)
+			endpoints += " /fleet /fleet/dashboard"
+		}
+		addr, shutdown, err := obs.Serve(*httpAddr, mux)
 		if err != nil {
 			fail("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "modelcheck: introspection on http://%s (/metrics /progress /pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "modelcheck: introspection on http://%s (%s)\n", addr, endpoints)
 		defer shutdown() //nolint:errcheck // exiting anyway
 	}
 	out, err := eng.Check(ctx, cfg)
@@ -581,9 +626,11 @@ func (r *progressReporter) line(p explore.Progress) {
 }
 
 // ledgerLine renders the fleet view of a ledger run underneath the local
-// progress line: participants, lease liveness, and the merged totals so far.
-func (r *progressReporter) ledgerLine(dir string) {
-	rs, err := ledger.Status(dir)
+// progress line: participants, lease liveness, and the merged totals so
+// far. The status comes through the fleet aggregator's cache, so back-to-
+// back ticks do not each rescan the ledger directories.
+func (r *progressReporter) ledgerLine(cache *fleet.StatusCache) {
+	rs, err := cache.Status()
 	if err != nil {
 		return // the ledger is being torn down or not yet created; skip the line
 	}
@@ -646,7 +693,15 @@ func finalizeLedger(cfg explore.Config, dir string, proto core.Protocol, execLab
 		meta["ledger_results"] = strconv.Itoa(merged.Results)
 		meta["ledger_reclaims"] = strconv.FormatInt(merged.Reclaims, 10)
 		meta["ledger_total_work_ns"] = strconv.FormatInt(merged.TotalWorkNS, 10)
-		if err := obs.WriteReport(reportOut, buildReport(out, reg, nil, meta)); err != nil {
+		rep := buildReport(out, reg, nil, meta)
+		// The fleet section (modelcheck-fleet-report/v1) preserves the
+		// worker fleet's final shape — per-worker snapshots, liveness,
+		// anomalies — in the durable report. Best-effort: a run whose
+		// workers never published snapshots still reports the ledger view.
+		if fv, ferr := fleet.Load(dir); ferr == nil {
+			rep.Fleet = fv
+		}
+		if err := obs.WriteReport(reportOut, rep); err != nil {
 			fail("%v", err)
 		}
 	}

@@ -99,6 +99,14 @@ type Engine struct {
 	// loses at most one lease of work. See internal/ledger and
 	// Engine.FinalizeLedger.
 	Ledger *ledger.Ledger
+	// FleetSnapshots, with Ledger, periodically publishes this worker's
+	// observability snapshot — registry dump, heartbeat, current claim —
+	// into the shared run directory (<run>/obs/worker-<id>.json) at TTL/3,
+	// so the fleet aggregator (internal/obs/fleet, `modelcheck
+	// -fleet-status`, /fleet) can report per-worker liveness and merged
+	// metrics without talking to any worker. Ignored without Ledger; a
+	// failed publish is a warn event, never a run failure.
+	FleetSnapshots bool
 	// Tracer, when non-nil, captures executions as durable trace artifacts:
 	// every violation (up to MaxViolationCaptures) and a 1-in-N sample of
 	// passing runs are written as trace/v1 + Perfetto files, and the

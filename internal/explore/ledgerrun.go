@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // exportLowWater is the ledger-side starvation threshold: while fewer
@@ -67,14 +69,22 @@ func (e *Engine) checkLedger(ctx context.Context, cfg Config) (*Outcome, error) 
 	pr := &ledgerProcess{
 		eng: e, cfg: cfg, kind: kind, compiled: compiled,
 		cap: cap, workers: workers, leaseSize: leaseSize,
-		m: m, set: set, ev: e.Events, start: time.Now(),
+		m: m, set: set, reg: reg, ev: e.Events, start: time.Now(),
 	}
 	pr.base.execs = m.execs.Load()
 	pr.base.violations = m.violations.Load()
 	pr.base.donations = m.donations.Load()
 	pr.base.steals = m.steals.Load()
+	// Stamp every span this process records with its fleet identity, so
+	// exported spans from different OS processes correlate by (worker,
+	// ledger epoch) alongside the per-claim (id, epoch) args.
+	rec := e.Tracer.Recorder()
+	rec.Annotate("worker", e.Ledger.Owner())
+	rec.Annotate("ledger_epoch", e.Ledger.Epoch())
 	stopProgress := pr.startProgress()
 	defer stopProgress()
+	stopSnapshots := pr.startSnapshots()
+	defer stopSnapshots()
 	pr.ev.Emit(obs.Info, "run.start", map[string]any{
 		"workers": workers, "cap": cap, "dedup": e.Dedup,
 		"ledger": true, "owner": e.Ledger.Owner(),
@@ -165,11 +175,17 @@ type ledgerProcess struct {
 	leaseSize int64
 	m         *runMetrics
 	set       *dedup.Set
+	reg       *obs.Registry
 	ev        *obs.Log
 	start     time.Time
 	base      struct{ execs, violations, donations, steals int64 }
 
 	cur atomic.Pointer[engineRun] // the live claim's run, for progress
+	// claim is the live claim as published in fleet snapshots. Updated
+	// with immutable copies on acquire and on every renewal — the snapshot
+	// publisher reads it from its own goroutine, so it must never alias
+	// the Lease struct the heartbeat mutates in place.
+	claim atomic.Pointer[obs.ClaimInfo]
 
 	best      *Counterexample // best across PUBLISHED claims only
 	firstAt   time.Duration
@@ -231,6 +247,28 @@ func (pr *ledgerProcess) runClaim(ctx context.Context, lease *ledger.Lease) (*cl
 	claimCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// The claim's fleet-visible lifecycle: an immutable ClaimInfo for the
+	// snapshot publisher (replaced wholesale on every renewal — the
+	// heartbeat goroutine mutates the Lease in place, so the publisher
+	// must never read it), claim.* events keyed by (claim id, epoch,
+	// worker, ledger epoch), and one "claim" span per claim so a subtree's
+	// crash → reap → re-enqueue at epoch+1 can be followed across the
+	// processes' exported artifacts.
+	acquired := time.Now()
+	pr.claim.Store(&obs.ClaimInfo{
+		ID: lease.ID, Epoch: lease.Epoch,
+		StartedUnixNano:      acquired.UnixNano(),
+		LeaseExpiresUnixNano: lease.ExpiresUnixNano,
+	})
+	defer pr.claim.Store((*obs.ClaimInfo)(nil))
+	pr.ev.Emit(obs.Info, "claim.acquire", map[string]any{
+		"claim": lease.ID, "epoch": lease.Epoch, "worker": l.Owner(),
+		"ledger_epoch": l.Epoch(), "path_len": len(lease.Path), "floor": lease.Floor,
+		"expires_unix_nano": lease.ExpiresUnixNano,
+	})
+	rec := pr.eng.Tracer.Recorder()
+	spanStart := rec.Begin()
+
 	r := &engineRun{
 		cfg:         pr.cfg,
 		kind:        pr.kind,
@@ -263,6 +301,21 @@ func (pr *ledgerProcess) runClaim(ctx context.Context, lease *ledger.Lease) (*cl
 	r.m.depth.Observe(float64(len(root.path)))
 	pr.cur.Store(r)
 	defer pr.cur.Store((*engineRun)(nil))
+
+	// settle seals the claim's observable lifecycle: one claim.release
+	// event and one "claim" span, both carrying the disposition the lease
+	// actually ended with (published | fenced | abandoned | error).
+	settle := func(disposition string) {
+		execs := pr.m.execs.Load() - r.base.execs
+		pr.ev.Emit(obs.Info, "claim.release", map[string]any{
+			"claim": lease.ID, "epoch": lease.Epoch, "worker": l.Owner(),
+			"ledger_epoch": l.Epoch(), "disposition": disposition, "executions": execs,
+		})
+		rec.End("claim", "ledger", -1, -1, spanStart, map[string]any{
+			"claim": lease.ID, "epoch": lease.Epoch,
+			"disposition": disposition, "executions": execs,
+		})
+	}
 
 	go func() {
 		<-claimCtx.Done()
@@ -302,7 +355,20 @@ func (pr *ledgerProcess) runClaim(ctx context.Context, lease *ledger.Lease) (*cl
 					pr.ev.Emit(obs.Warn, "ledger.renew_error", map[string]any{
 						"id": lease.ID, "err": err.Error(),
 					})
+					continue
 				}
+				// A fresh immutable copy for the snapshot publisher: the
+				// renewed expiry is read here, in the renewing goroutine,
+				// never from the publisher's.
+				pr.claim.Store(&obs.ClaimInfo{
+					ID: lease.ID, Epoch: lease.Epoch,
+					StartedUnixNano:      acquired.UnixNano(),
+					LeaseExpiresUnixNano: lease.ExpiresUnixNano,
+				})
+				pr.ev.Emit(obs.Debug, "claim.renew", map[string]any{
+					"claim": lease.ID, "epoch": lease.Epoch, "worker": l.Owner(),
+					"expires_unix_nano": lease.ExpiresUnixNano,
+				})
 			}
 		}
 	}()
@@ -371,19 +437,32 @@ func (pr *ledgerProcess) runClaim(ctx context.Context, lease *ledger.Lease) (*cl
 	co := &claimOutcome{
 		best: best, firstAt: firstAt, maxSteps: maxSteps, maxFaults: maxFaults,
 	}
+	abandon := func() error {
+		if err := l.Abandon(lease); err != nil {
+			settle("error")
+			return err
+		}
+		pr.ev.Emit(obs.Info, "claim.abandon", map[string]any{
+			"claim": lease.ID, "epoch": lease.Epoch, "worker": l.Owner(),
+		})
+		settle("abandoned")
+		return nil
+	}
 	switch {
 	case runErr != nil:
 		// Framework error: put the subtree back for someone else before
 		// failing this process.
 		l.Abandon(lease)
+		settle("error")
 		return nil, runErr
 	case fenced.Load():
 		// Renew already dropped the lease; every counter this claim moved
 		// is excluded simply by never publishing.
 		co.fenced = true
+		settle("fenced")
 		return co, nil
 	case ctx.Err() != nil:
-		if err := l.Abandon(lease); err != nil {
+		if err := abandon(); err != nil {
 			return nil, err
 		}
 		co.abandoned = true
@@ -391,7 +470,7 @@ func (pr *ledgerProcess) runClaim(ctx context.Context, lease *ledger.Lease) (*cl
 	case r.capped.Load():
 		// The PROCESS budget ran out mid-claim: the subtree is not fully
 		// enumerated, so its partial tally must not be published.
-		if err := l.Abandon(lease); err != nil {
+		if err := abandon(); err != nil {
 			return nil, err
 		}
 		co.abandoned = true
@@ -420,10 +499,17 @@ func (pr *ledgerProcess) runClaim(ctx context.Context, lease *ledger.Lease) (*cl
 	case errors.Is(err, ledger.ErrFenced):
 		co.fenced = true
 		co.best = nil
+		settle("fenced")
 		return co, nil
 	case err != nil:
+		settle("error")
 		return nil, err
 	}
+	pr.ev.Emit(obs.Info, "claim.publish", map[string]any{
+		"claim": lease.ID, "epoch": lease.Epoch, "worker": l.Owner(),
+		"executions": res.Executions, "violations": res.Violations, "has_best": res.HasBest,
+	})
+	settle("published")
 	co.published = true
 	return co, nil
 }
@@ -474,6 +560,70 @@ func (pr *ledgerProcess) startProgress() func() {
 					p.DepthP99 = snap.Quantile(0.99)
 				}
 				e.Progress(p)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}
+
+// startSnapshots periodically publishes this worker's fleet snapshot —
+// registry dump, heartbeat, current claim — into <run>/obs/ via the
+// store's atomic write discipline, at the lease renewal cadence (TTL/3).
+// A final snapshot on stop records the worker's finished state, so a
+// cleanly exited worker shows its full contribution rather than a stale
+// mid-run heartbeat. Publishing is best-effort: a failed write is a warn
+// event, never a run failure.
+func (pr *ledgerProcess) startSnapshots() func() {
+	e := pr.eng
+	if !e.FleetSnapshots || e.Ledger == nil {
+		return func() {}
+	}
+	dir, err := store.ObsDir(e.Ledger.RunDir())
+	if err != nil {
+		pr.ev.Emit(obs.Warn, "fleet.snapshot_error", map[string]any{"err": err.Error()})
+		return func() {}
+	}
+	name := store.WorkerSnapshotName(e.Ledger.Owner())
+	period := e.Ledger.TTL() / 3
+	if period <= 0 {
+		period = time.Second
+	}
+	publish := func() {
+		ws := &obs.WorkerSnapshot{
+			Schema:            obs.WorkerSnapshotSchema,
+			Worker:            e.Ledger.Owner(),
+			PID:               os.Getpid(),
+			LedgerEpoch:       e.Ledger.Epoch(),
+			StartedUnixNano:   pr.start.UnixNano(),
+			HeartbeatUnixNano: time.Now().UnixNano(),
+			Claim:             pr.claim.Load(),
+			Metrics:           pr.reg.Snapshot(),
+		}
+		data, err := ws.Encode()
+		if err == nil {
+			err = store.WriteFileAtomic(dir, name, data)
+		}
+		if err != nil {
+			pr.ev.Emit(obs.Warn, "fleet.snapshot_error", map[string]any{"err": err.Error()})
+		}
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		publish() // an immediately visible worker beats a TTL/3 blind spot
+		for {
+			select {
+			case <-done:
+				publish()
+				return
+			case <-tick.C:
+				publish()
 			}
 		}
 	}()

@@ -282,6 +282,11 @@ func (l *Ledger) Epoch() int64 { return l.epoch }
 // TTL returns the fleet-wide lease time-to-live.
 func (l *Ledger) TTL() time.Duration { return l.ttl }
 
+// RunDir returns the run directory this ledger lives under (the parent of
+// the ledger/ subdirectory) — where cooperating subsystems such as the
+// fleet snapshot publisher anchor their own files.
+func (l *Ledger) RunDir() string { return filepath.Dir(l.dir) }
+
 // Instrument attaches observability: claim/reclaim/publish/export/abandon/
 // fenced counters, pending-task and live-lease gauges (computed from the
 // directory on read), and ledger.* events. Either argument may be nil.

@@ -181,13 +181,20 @@ type LeaseStatus struct {
 	Owner   string `json:"owner"`
 	Epoch   int64  `json:"epoch"`
 	Expired bool   `json:"expired"`
+	// ExpiresUnixNano is the lease's deadline as last renewed; the fleet
+	// aggregator compares it against the TTL to flag leases whose holder
+	// has missed renewals (healthy holders renew at TTL/3).
+	ExpiresUnixNano int64 `json:"expires_unix_nano"`
 }
 
 // RunStatus is a read-only snapshot of a ledger run for progress UX: who
 // has participated, what is claimed or pending, and how much is already
 // merged into published results.
 type RunStatus struct {
-	LedgerEpoch      int64         `json:"ledger_epoch"`
+	LedgerEpoch int64 `json:"ledger_epoch"`
+	// LeaseTTLNS is the fleet-wide lease time-to-live from the marker —
+	// also the heartbeat-staleness threshold for worker snapshots.
+	LeaseTTLNS       int64         `json:"lease_ttl_ns"`
 	Participants     []string      `json:"participants"` // owners across leases + results, sorted
 	TasksPending     int           `json:"tasks_pending"`
 	LeasesLive       int           `json:"leases_live"`
@@ -209,7 +216,7 @@ func Status(runDir string) (*RunStatus, error) {
 	if err != nil {
 		return nil, err
 	}
-	rs := &RunStatus{LedgerEpoch: l.epoch}
+	rs := &RunStatus{LedgerEpoch: l.epoch, LeaseTTLNS: int64(l.ttl)}
 	owners := map[string]bool{}
 	now := l.now().UnixNano()
 	for id, t := range st.tasks {
@@ -231,7 +238,10 @@ func Status(runDir string) (*RunStatus, error) {
 		} else {
 			rs.LeasesLive++
 		}
-		rs.Leases = append(rs.Leases, LeaseStatus{ID: id, Owner: ls.Owner, Epoch: ls.Epoch, Expired: expired})
+		rs.Leases = append(rs.Leases, LeaseStatus{
+			ID: id, Owner: ls.Owner, Epoch: ls.Epoch,
+			Expired: expired, ExpiresUnixNano: ls.ExpiresUnixNano,
+		})
 	}
 	for id, epochs := range st.results {
 		top := epochs[0]

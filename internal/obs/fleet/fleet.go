@@ -1,0 +1,355 @@
+// Package fleet aggregates a distributed exploration's per-worker
+// observability into one view. Each ledger worker periodically publishes
+// an atomic snapshot of itself — registry dump, heartbeat, current claim —
+// into the shared run directory (<run>/obs/worker-<id>.json, written by
+// the engine's snapshot publisher via store.WriteFileAtomic); this package
+// merges those snapshots with the ledger's own read-only RunStatus into a
+// fleet View: summed counters, merged histograms, per-worker liveness
+// derived from heartbeat age vs the lease TTL, and flagged anomalies
+// (stale workers, leases near expiry, claim-duration outliers, throughput
+// skew).
+//
+// The aggregation is entirely file-based: it needs no worker alive and no
+// network, so the same View backs three consumers — the /fleet and
+// /fleet/dashboard endpoints on a live worker's obs.Handler, the one-shot
+// `modelcheck -fleet-status` CLI, and the fleet section embedded into the
+// finalize report.
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// ReportSchema identifies the fleet view format (also the schema of the
+// "fleet" section a ledger finalize embeds into its -report).
+const ReportSchema = "modelcheck-fleet-report/v1"
+
+// Anomaly rule names. Each names one observable failure of fleet health;
+// Detail carries the human-readable specifics.
+const (
+	// RuleWorkerStale: a worker's snapshot heartbeat is older than the
+	// lease TTL — the process is dead, stopped, or starved. Its claims
+	// are about to be (or already were) reaped.
+	RuleWorkerStale = "worker-stale"
+	// RuleLeaseExpired: a lease sits past its deadline with no result —
+	// its subtree is unclaimable until a surviving worker reaps it.
+	RuleLeaseExpired = "lease-expired"
+	// RuleLeaseNearExpiry: a live lease is within TTL/4 of its deadline.
+	// Healthy holders renew at TTL/3 and so never drop below 2·TTL/3
+	// remaining; a shrinking margin means missed renewals.
+	RuleLeaseNearExpiry = "lease-near-expiry"
+	// RuleClaimLong: a worker has held one claim for more than 5× the
+	// TTL — a straggler subtree that will gate the drain.
+	RuleClaimLong = "claim-long"
+	// RuleRateSkew: among live workers the fastest outpaces the slowest
+	// by more than 4× — a load-balance or host-health imbalance.
+	RuleRateSkew = "rate-skew"
+	// RuleSnapshotUnreadable: a worker-<id>.json exists but does not
+	// decode — wrong schema or foreign debris in the obs directory.
+	RuleSnapshotUnreadable = "snapshot-unreadable"
+)
+
+// Anomaly is one flagged fleet-health finding.
+type Anomaly struct {
+	Rule   string `json:"rule"`
+	Worker string `json:"worker,omitempty"`
+	Claim  string `json:"claim,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// Worker is one participant's row in the fleet view.
+type Worker struct {
+	Worker string `json:"worker"`
+	PID    int    `json:"pid"`
+	// Stale reports a heartbeat older than the lease TTL.
+	Stale          bool  `json:"stale"`
+	HeartbeatAgeNS int64 `json:"heartbeat_age_ns"`
+	UptimeNS       int64 `json:"uptime_ns"`
+	// Executions and Violations are this worker's registry counters
+	// (explore.executions / explore.violations) at its last heartbeat.
+	Executions int64 `json:"executions"`
+	Violations int64 `json:"violations"`
+	// Rate is executions per second over the worker's uptime.
+	Rate float64 `json:"rate"`
+	// Claim is the subtree the worker was enumerating at its last
+	// heartbeat (nil between claims), ClaimAgeNS how long it has held it.
+	Claim      *obs.ClaimInfo `json:"claim,omitempty"`
+	ClaimAgeNS int64          `json:"claim_age_ns,omitempty"`
+}
+
+// View is the merged fleet picture at one instant.
+type View struct {
+	Schema            string `json:"schema"`
+	RunDir            string `json:"run_dir"`
+	GeneratedUnixNano int64  `json:"generated_unix_nano"`
+	LedgerEpoch       int64  `json:"ledger_epoch"`
+	LeaseTTLNS        int64  `json:"lease_ttl_ns"`
+	// Workers lists every published snapshot, sorted by worker id; Live
+	// and Stale partition them by heartbeat age vs TTL.
+	Workers []Worker `json:"workers"`
+	Live    int      `json:"live"`
+	Stale   int      `json:"stale"`
+	// Merged is the fleet-wide metric fold over every worker snapshot
+	// (obs.MergeSnapshots: counters summed, same-shape histograms merged).
+	Merged obs.Snapshot `json:"merged"`
+	// Ledger is the run's read-only ledger status: pending tasks, lease
+	// liveness, and the merged totals over published results — the
+	// authoritative execution count (worker counters also tally claims
+	// that were later fenced and re-run).
+	Ledger    *ledger.RunStatus `json:"ledger"`
+	Anomalies []Anomaly         `json:"anomalies,omitempty"`
+}
+
+// Load builds the fleet view of runDir from its published worker
+// snapshots and ledger status. It never mutates the run directory and
+// needs no live worker; a run whose ledger marker is missing fails with
+// ledger.ErrNoLedger.
+func Load(runDir string) (*View, error) {
+	st, err := ledger.Status(runDir)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := store.ListWorkerSnapshots(runDir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []*obs.WorkerSnapshot
+	var unreadable []Anomaly
+	for _, p := range paths {
+		ws, err := obs.LoadSnapshot(p)
+		if err != nil {
+			unreadable = append(unreadable, Anomaly{
+				Rule: RuleSnapshotUnreadable, Detail: err.Error(),
+			})
+			continue
+		}
+		snaps = append(snaps, ws)
+	}
+	v := Build(runDir, st, snaps, time.Now())
+	v.Anomalies = append(v.Anomalies, unreadable...)
+	return v, nil
+}
+
+// Build folds the ledger status and worker snapshots into a View at the
+// given instant. Pure — no filesystem, no clock — so every anomaly rule is
+// testable with synthetic inputs.
+func Build(runDir string, st *ledger.RunStatus, snaps []*obs.WorkerSnapshot, now time.Time) *View {
+	ttl := time.Duration(st.LeaseTTLNS)
+	if ttl <= 0 {
+		ttl = ledger.DefaultTTL
+	}
+	v := &View{
+		Schema:            ReportSchema,
+		RunDir:            runDir,
+		GeneratedUnixNano: now.UnixNano(),
+		LedgerEpoch:       st.LedgerEpoch,
+		LeaseTTLNS:        int64(ttl),
+		Ledger:            st,
+	}
+
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Worker < snaps[j].Worker })
+	metrics := make([]obs.Snapshot, 0, len(snaps))
+	for _, ws := range snaps {
+		w := Worker{
+			Worker:         ws.Worker,
+			PID:            ws.PID,
+			HeartbeatAgeNS: now.UnixNano() - ws.HeartbeatUnixNano,
+			UptimeNS:       ws.HeartbeatUnixNano - ws.StartedUnixNano,
+			Executions:     ws.Metrics.Counters["explore.executions"],
+			Violations:     ws.Metrics.Counters["explore.violations"],
+			Claim:          ws.Claim,
+		}
+		w.Stale = w.HeartbeatAgeNS > int64(ttl)
+		if secs := float64(w.UptimeNS) / float64(time.Second); secs > 0 {
+			w.Rate = float64(w.Executions) / secs
+		}
+		if ws.Claim != nil {
+			w.ClaimAgeNS = now.UnixNano() - ws.Claim.StartedUnixNano
+		}
+		if w.Stale {
+			v.Stale++
+			v.Anomalies = append(v.Anomalies, Anomaly{
+				Rule: RuleWorkerStale, Worker: w.Worker,
+				Detail: fmt.Sprintf("heartbeat %s old (TTL %s)",
+					time.Duration(w.HeartbeatAgeNS).Round(time.Millisecond), ttl),
+			})
+		} else {
+			v.Live++
+		}
+		if w.ClaimAgeNS > 5*int64(ttl) {
+			v.Anomalies = append(v.Anomalies, Anomaly{
+				Rule: RuleClaimLong, Worker: w.Worker, Claim: ws.Claim.ID,
+				Detail: fmt.Sprintf("claim held %s (> 5×TTL %s)",
+					time.Duration(w.ClaimAgeNS).Round(time.Millisecond), ttl),
+			})
+		}
+		v.Workers = append(v.Workers, w)
+		metrics = append(metrics, ws.Metrics)
+	}
+	v.Merged = obs.MergeSnapshots(metrics...)
+
+	for _, ls := range st.Leases {
+		if ls.Expired {
+			v.Anomalies = append(v.Anomalies, Anomaly{
+				Rule: RuleLeaseExpired, Worker: ls.Owner, Claim: ls.ID,
+				Detail: fmt.Sprintf("lease expired %s ago, subtree awaiting reap",
+					time.Duration(now.UnixNano()-ls.ExpiresUnixNano).Round(time.Millisecond)),
+			})
+			continue
+		}
+		if left := ls.ExpiresUnixNano - now.UnixNano(); left < int64(ttl)/4 {
+			v.Anomalies = append(v.Anomalies, Anomaly{
+				Rule: RuleLeaseNearExpiry, Worker: ls.Owner, Claim: ls.ID,
+				Detail: fmt.Sprintf("lease expires in %s (< TTL/4 of %s); renewals are being missed",
+					time.Duration(left).Round(time.Millisecond), ttl),
+			})
+		}
+	}
+
+	// Rate skew compares live workers only (a stale worker's rate is an
+	// artifact of its frozen heartbeat) and needs at least two of them.
+	var fastest, slowest *Worker
+	for i := range v.Workers {
+		w := &v.Workers[i]
+		if w.Stale || w.Rate <= 0 {
+			continue
+		}
+		if fastest == nil || w.Rate > fastest.Rate {
+			fastest = w
+		}
+		if slowest == nil || w.Rate < slowest.Rate {
+			slowest = w
+		}
+	}
+	if fastest != nil && slowest != nil && fastest != slowest && fastest.Rate > 4*slowest.Rate {
+		v.Anomalies = append(v.Anomalies, Anomaly{
+			Rule: RuleRateSkew, Worker: slowest.Worker,
+			Detail: fmt.Sprintf("%s runs %.0f executions/sec, %s only %.0f (> 4× skew)",
+				fastest.Worker, fastest.Rate, slowest.Worker, slowest.Rate),
+		})
+	}
+	return v
+}
+
+// Dashboard renders the view as the human-readable text served at
+// /fleet/dashboard and printed by `modelcheck -fleet-status`.
+func (v *View) Dashboard() string {
+	var b strings.Builder
+	ttl := time.Duration(v.LeaseTTLNS)
+	fmt.Fprintf(&b, "fleet %s (ledger epoch %d, lease TTL %s)\n", v.RunDir, v.LedgerEpoch, ttl)
+	if st := v.Ledger; st != nil {
+		fmt.Fprintf(&b, "ledger: %d task(s) pending, %d live / %d expired lease(s), %d result(s) merged (%d executions, %d violations), drained: %v\n",
+			st.TasksPending, st.LeasesLive, st.LeasesExpired, st.Results,
+			st.MergedExecutions, st.MergedViolations, st.Drained)
+	}
+	fmt.Fprintf(&b, "workers: %d live, %d stale\n", v.Live, v.Stale)
+	for _, w := range v.Workers {
+		state := "live"
+		if w.Stale {
+			state = "STALE"
+		}
+		fmt.Fprintf(&b, "  %-20s %-5s pid %-7d heartbeat %8s ago  %10d executions  %8.0f/sec",
+			w.Worker, state, w.PID,
+			time.Duration(w.HeartbeatAgeNS).Round(time.Millisecond),
+			w.Executions, w.Rate)
+		if w.Claim != nil {
+			fmt.Fprintf(&b, "  claim %s@e%d for %s",
+				w.Claim.ID, w.Claim.Epoch, time.Duration(w.ClaimAgeNS).Round(time.Millisecond))
+		}
+		b.WriteByte('\n')
+	}
+	if execs, ok := v.Merged.Counters["explore.executions"]; ok {
+		fmt.Fprintf(&b, "merged: %d executions, %d violations across %d snapshot(s)\n",
+			execs, v.Merged.Counters["explore.violations"], len(v.Workers))
+	}
+	if len(v.Anomalies) == 0 {
+		b.WriteString("anomalies: none\n")
+	} else {
+		fmt.Fprintf(&b, "anomalies: %d\n", len(v.Anomalies))
+		for _, a := range v.Anomalies {
+			fmt.Fprintf(&b, "  [%s]", a.Rule)
+			if a.Worker != "" {
+				fmt.Fprintf(&b, " worker %s", a.Worker)
+			}
+			if a.Claim != "" {
+				fmt.Fprintf(&b, " claim %s", a.Claim)
+			}
+			fmt.Fprintf(&b, ": %s\n", a.Detail)
+		}
+	}
+	return b.String()
+}
+
+// StatusCache memoizes ledger.Status for consumers that poll it — the
+// -progress fleet line ticks every couple of seconds, and a full Status is
+// a directory scan that grows with task and result count. Within maxAge
+// every caller gets the cached status; after it, the first caller rescans.
+type StatusCache struct {
+	dir    string
+	maxAge time.Duration
+
+	mu  sync.Mutex
+	at  time.Time
+	st  *ledger.RunStatus
+	err error
+}
+
+// NewStatusCache returns a cache over runDir's ledger status, serving
+// reads up to maxAge old (0 means one second).
+func NewStatusCache(runDir string, maxAge time.Duration) *StatusCache {
+	if maxAge <= 0 {
+		maxAge = time.Second
+	}
+	return &StatusCache{dir: runDir, maxAge: maxAge}
+}
+
+// Status returns the (possibly cached) ledger status. Errors are cached
+// for the same maxAge — a torn-down ledger must not turn every progress
+// tick back into a directory scan.
+func (c *StatusCache) Status() (*ledger.RunStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.at.IsZero() && time.Since(c.at) < c.maxAge {
+		return c.st, c.err
+	}
+	c.st, c.err = ledger.Status(c.dir)
+	c.at = time.Now()
+	return c.st, c.err
+}
+
+// Attach registers the fleet endpoints on a live worker's obs.Handler mux:
+//
+//	/fleet            the View as JSON
+//	/fleet/dashboard  the View as Dashboard() text
+//
+// Both rebuild the view from the run directory per request — the files are
+// the source of truth, so every worker serves the same fleet regardless of
+// which one answers. A run whose ledger is missing answers 503.
+func Attach(mux *http.ServeMux, runDir string) {
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
+		v, err := Load(runDir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		obs.WriteHTTPJSON(w, v)
+	})
+	mux.HandleFunc("/fleet/dashboard", func(w http.ResponseWriter, r *http.Request) {
+		v, err := Load(runDir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, v.Dashboard()) //nolint:errcheck // a failed write is the client's problem
+	})
+}

@@ -1,0 +1,321 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// synthetic fleet fixture: one healthy fast worker, one stale worker, one
+// slow straggler holding a claim past 5×TTL, plus an expired and a
+// nearly-expired lease — every Build anomaly rule fires exactly once.
+const ttl = time.Second
+
+var now = time.Unix(100, 0)
+
+func worker(id string, heartbeatAge, uptime time.Duration, execs int64, claim *obs.ClaimInfo) *obs.WorkerSnapshot {
+	reg := obs.NewRegistry()
+	reg.Counter("explore.executions").Add(execs)
+	hb := now.Add(-heartbeatAge)
+	return &obs.WorkerSnapshot{
+		Schema:            obs.WorkerSnapshotSchema,
+		Worker:            id,
+		PID:               1000,
+		LedgerEpoch:       1,
+		StartedUnixNano:   hb.Add(-uptime).UnixNano(),
+		HeartbeatUnixNano: hb.UnixNano(),
+		Claim:             claim,
+		Metrics:           reg.Snapshot(),
+	}
+}
+
+func syntheticView() *View {
+	st := &ledger.RunStatus{
+		LedgerEpoch: 1,
+		LeaseTTLNS:  int64(ttl),
+		LeasesLive:  1, LeasesExpired: 1,
+		Leases: []ledger.LeaseStatus{
+			{ID: "0001", Owner: "worker-b", Epoch: 1, Expired: true,
+				ExpiresUnixNano: now.Add(-2 * time.Second).UnixNano()},
+			{ID: "0002", Owner: "worker-c", Epoch: 1,
+				ExpiresUnixNano: now.Add(ttl / 8).UnixNano()},
+		},
+		MergedExecutions: 900,
+	}
+	snaps := []*obs.WorkerSnapshot{
+		// listed out of order on purpose: Build must sort by worker id
+		worker("worker-c", 100*time.Millisecond, 10*time.Second, 20, &obs.ClaimInfo{
+			ID: "0002", Epoch: 1,
+			StartedUnixNano:      now.Add(-6 * time.Second).UnixNano(),
+			LeaseExpiresUnixNano: now.Add(ttl / 8).UnixNano(),
+		}),
+		worker("worker-a", 100*time.Millisecond, 10*time.Second, 1000, nil),
+		worker("worker-b", 2*time.Second, 5*time.Second, 100, nil),
+	}
+	return Build("run", st, snaps, now)
+}
+
+func anomaliesByRule(v *View) map[string][]Anomaly {
+	m := map[string][]Anomaly{}
+	for _, a := range v.Anomalies {
+		m[a.Rule] = append(m[a.Rule], a)
+	}
+	return m
+}
+
+func TestBuildLivenessAndMerge(t *testing.T) {
+	v := syntheticView()
+	if v.Schema != ReportSchema || v.LeaseTTLNS != int64(ttl) {
+		t.Errorf("schema/ttl = %q/%d", v.Schema, v.LeaseTTLNS)
+	}
+	if len(v.Workers) != 3 || v.Live != 2 || v.Stale != 1 {
+		t.Fatalf("workers = %d (live %d, stale %d)", len(v.Workers), v.Live, v.Stale)
+	}
+	for i, want := range []string{"worker-a", "worker-b", "worker-c"} {
+		if v.Workers[i].Worker != want {
+			t.Errorf("workers[%d] = %s, want %s (sorted)", i, v.Workers[i].Worker, want)
+		}
+	}
+	a, b, c := v.Workers[0], v.Workers[1], v.Workers[2]
+	if a.Stale || !b.Stale || c.Stale {
+		t.Errorf("staleness = %v/%v/%v, want live/STALE/live", a.Stale, b.Stale, c.Stale)
+	}
+	if a.Rate != 100 {
+		t.Errorf("a.Rate = %v, want 100/sec (1000 executions over 10s uptime)", a.Rate)
+	}
+	if c.Claim == nil || c.ClaimAgeNS != int64(6*time.Second) {
+		t.Errorf("c claim age = %d", c.ClaimAgeNS)
+	}
+	if v.Merged.Counters["explore.executions"] != 1120 {
+		t.Errorf("merged executions = %d, want 1120", v.Merged.Counters["explore.executions"])
+	}
+}
+
+func TestBuildAnomalyRules(t *testing.T) {
+	v := syntheticView()
+	rules := anomaliesByRule(v)
+	for rule, wantWorker := range map[string]string{
+		RuleWorkerStale:     "worker-b",
+		RuleLeaseExpired:    "worker-b",
+		RuleLeaseNearExpiry: "worker-c",
+		RuleClaimLong:       "worker-c",
+		RuleRateSkew:        "worker-c", // slowest live worker is named
+	} {
+		got := rules[rule]
+		if len(got) != 1 {
+			t.Errorf("rule %s fired %d times, want 1: %+v", rule, len(got), got)
+			continue
+		}
+		if got[0].Worker != wantWorker {
+			t.Errorf("rule %s names %s, want %s", rule, got[0].Worker, wantWorker)
+		}
+	}
+	if len(v.Anomalies) != 5 {
+		t.Errorf("anomalies = %d, want exactly 5: %+v", len(v.Anomalies), v.Anomalies)
+	}
+}
+
+// TestBuildQuietFleet: a healthy fleet — fresh heartbeats, comparable
+// rates, no troubled leases — yields zero anomalies.
+func TestBuildQuietFleet(t *testing.T) {
+	st := &ledger.RunStatus{LedgerEpoch: 1, LeaseTTLNS: int64(ttl)}
+	snaps := []*obs.WorkerSnapshot{
+		worker("a", 100*time.Millisecond, 10*time.Second, 500, nil),
+		worker("b", 200*time.Millisecond, 10*time.Second, 400, nil),
+	}
+	v := Build("run", st, snaps, now)
+	if len(v.Anomalies) != 0 {
+		t.Errorf("quiet fleet flagged: %+v", v.Anomalies)
+	}
+	if v.Live != 2 || v.Stale != 0 {
+		t.Errorf("live/stale = %d/%d", v.Live, v.Stale)
+	}
+}
+
+// TestBuildRateSkewIgnoresStale: a frozen heartbeat makes a stale worker's
+// rate an artifact; only live workers may trip the skew rule.
+func TestBuildRateSkewIgnoresStale(t *testing.T) {
+	st := &ledger.RunStatus{LedgerEpoch: 1, LeaseTTLNS: int64(ttl)}
+	snaps := []*obs.WorkerSnapshot{
+		worker("fast", 100*time.Millisecond, 10*time.Second, 1000, nil),
+		worker("frozen", 10*time.Second, 10*time.Second, 10, nil), // stale, rate 1/sec
+	}
+	v := Build("run", st, snaps, now)
+	if rules := anomaliesByRule(v); len(rules[RuleRateSkew]) != 0 {
+		t.Errorf("rate skew against a stale worker: %+v", rules[RuleRateSkew])
+	}
+}
+
+func TestDashboardRendering(t *testing.T) {
+	v := syntheticView()
+	d := v.Dashboard()
+	for _, want := range []string{
+		"ledger epoch 1", "lease TTL 1s",
+		"workers: 2 live, 1 stale",
+		"worker-b", "STALE",
+		"claim 0002@e1",
+		"merged: 1120 executions",
+		"anomalies: 5",
+		"[" + RuleWorkerStale + "]", "[" + RuleRateSkew + "]",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, d)
+		}
+	}
+
+	quiet := Build("run", &ledger.RunStatus{LeaseTTLNS: int64(ttl)}, nil, now)
+	if d := quiet.Dashboard(); !strings.Contains(d, "anomalies: none") {
+		t.Errorf("quiet dashboard:\n%s", d)
+	}
+}
+
+// TestLoadNoLedger: fleet status of a directory that never hosted a ledger
+// is ledger.ErrNoLedger, so the CLI can say so instead of rendering an
+// empty fleet.
+func TestLoadNoLedger(t *testing.T) {
+	if _, err := Load(t.TempDir()); !errors.Is(err, ledger.ErrNoLedger) {
+		t.Errorf("Load on a bare directory = %v, want ErrNoLedger", err)
+	}
+}
+
+// TestLoadFlagsUnreadableSnapshots: debris in <run>/obs must surface as a
+// snapshot-unreadable anomaly, not kill the whole view.
+func TestLoadFlagsUnreadableSnapshots(t *testing.T) {
+	runDir := t.TempDir()
+	if _, _, err := ledger.Join(runDir, "w", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := store.ObsDir(runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := &obs.WorkerSnapshot{
+		Schema: obs.WorkerSnapshotSchema, Worker: "w", PID: 1,
+		HeartbeatUnixNano: time.Now().UnixNano(),
+		Metrics:           obs.NewRegistry().Snapshot(),
+	}
+	data, err := ws.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, store.WorkerSnapshotName("w")), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "worker-junk.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := Load(runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Workers) != 1 || v.Workers[0].Worker != "w" {
+		t.Fatalf("workers = %+v", v.Workers)
+	}
+	rules := anomaliesByRule(v)
+	if len(rules[RuleSnapshotUnreadable]) != 1 {
+		t.Errorf("unreadable anomalies = %+v", v.Anomalies)
+	}
+}
+
+// TestStatusCache: within maxAge every caller gets the same status without
+// rescanning; after expiry the next call observes fresh ledger state.
+func TestStatusCache(t *testing.T) {
+	runDir := t.TempDir()
+	if _, _, err := ledger.Join(runDir, "w", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c := NewStatusCache(runDir, 200*time.Millisecond)
+	st1, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Error("second read within maxAge rescanned")
+	}
+	time.Sleep(250 * time.Millisecond)
+	st3, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3 == st1 {
+		t.Error("read after maxAge still served the stale pointer")
+	}
+}
+
+// TestStatusCacheCachesErrors: a missing ledger must not turn every
+// progress tick into a directory scan; the error is memoized too.
+func TestStatusCacheCachesErrors(t *testing.T) {
+	c := NewStatusCache(t.TempDir(), time.Minute)
+	_, err1 := c.Status()
+	if !errors.Is(err1, ledger.ErrNoLedger) {
+		t.Fatalf("err = %v", err1)
+	}
+	if _, err2 := c.Status(); !errors.Is(err2, ledger.ErrNoLedger) {
+		t.Errorf("cached err = %v", err2)
+	}
+}
+
+// TestAttachEndpoints: /fleet serves the JSON view, /fleet/dashboard the
+// text rendering, and both answer 503 when the run has no ledger.
+func TestAttachEndpoints(t *testing.T) {
+	runDir := t.TempDir()
+	if _, _, err := ledger.Join(runDir, "w", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	Attach(mux, runDir)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("/fleet: %v", err)
+	}
+	if v.Schema != ReportSchema || v.Ledger == nil {
+		t.Errorf("/fleet view = %+v", v)
+	}
+
+	resp, err = http.Get(srv.URL + "/fleet/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), "fleet "+runDir) {
+		t.Errorf("/fleet/dashboard:\n%s", body[:n])
+	}
+
+	bare := http.NewServeMux()
+	Attach(bare, t.TempDir())
+	bareSrv := httptest.NewServer(bare)
+	defer bareSrv.Close()
+	resp, err = http.Get(bareSrv.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/fleet without a ledger: %d, want 503", resp.StatusCode)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"time"
 )
 
 // Handler returns the live-introspection mux:
@@ -14,6 +15,10 @@ import (
 //	           self-describing JSON document)
 //	/progress  JSON of whatever progress() returns (the engine's latest
 //	           Progress report); 204 when progress is nil or returns nil
+//	/healthz   liveness probe: 200 with uptime and whether a verdict is
+//	           in progress — distinct from /metrics so fleet probes and
+//	           load balancers never parse a metric snapshot to ask
+//	           "is it up?"
 //	/pprof/    the standard net/http/pprof handlers (index, profile,
 //	           heap, goroutine, trace, ...), re-rooted under /pprof/
 //	/debug/trace  on-demand runtime execution trace capture
@@ -21,11 +26,27 @@ import (
 //	           and in Perfetto
 //
 // The handler holds no locks across requests: /metrics snapshots the
-// registry, /progress calls progress() once.
+// registry, /progress and /healthz call progress() once.
 func Handler(reg *Registry, progress func() any) *http.ServeMux {
+	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// "In progress" means the run has produced at least one progress
+		// report — the engine's ticker is alive and a verdict is being
+		// worked toward (or was just reached; the handler outlives the run
+		// only by the shutdown grace).
+		inProgress := false
+		if progress != nil {
+			inProgress = progress() != nil
+		}
+		writeJSON(w, map[string]any{
+			"status":              "ok",
+			"uptime_ns":           time.Since(start).Nanoseconds(),
+			"verdict_in_progress": inProgress,
+		})
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
 		var v any
@@ -51,6 +72,12 @@ func Handler(reg *Registry, progress func() any) *http.ServeMux {
 	mux.HandleFunc("/debug/trace", pprof.Trace)
 	return mux
 }
+
+// WriteHTTPJSON renders v as indented JSON with the JSON content type —
+// the same rendering /metrics and /progress use, exported so subsystems
+// that attach routes to the mux (the fleet endpoints) match the handler's
+// house style.
+func WriteHTTPJSON(w http.ResponseWriter, v any) { writeJSON(w, v) }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -53,6 +53,46 @@ func TestHandlerMetricsAndProgress(t *testing.T) {
 	}
 }
 
+func TestHandlerHealthz(t *testing.T) {
+	var latest any
+	srv := httptest.NewServer(Handler(NewRegistry(), func() any { return latest }))
+	defer srv.Close()
+
+	check := func(wantInProgress bool) {
+		t.Helper()
+		code, body := get(t, srv.URL+"/healthz")
+		if code != 200 {
+			t.Fatalf("/healthz: %d", code)
+		}
+		var h struct {
+			Status     string `json:"status"`
+			UptimeNS   int64  `json:"uptime_ns"`
+			InProgress bool   `json:"verdict_in_progress"`
+		}
+		if err := json.Unmarshal([]byte(body), &h); err != nil {
+			t.Fatalf("/healthz is not JSON: %v\n%s", err, body)
+		}
+		if h.Status != "ok" || h.UptimeNS <= 0 {
+			t.Errorf("healthz = %+v", h)
+		}
+		if h.InProgress != wantInProgress {
+			t.Errorf("verdict_in_progress = %v, want %v", h.InProgress, wantInProgress)
+		}
+	}
+	check(false) // no progress report yet
+	latest = map[string]any{"executions": 1}
+	check(true)
+}
+
+func TestHandlerHealthzNilProgress(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer srv.Close()
+	code, body := get(t, srv.URL+"/healthz")
+	if code != 200 || !strings.Contains(body, `"status": "ok"`) {
+		t.Errorf("/healthz without progress: %d\n%s", code, body)
+	}
+}
+
 func TestHandlerProgressNil(t *testing.T) {
 	srv := httptest.NewServer(Handler(NewRegistry(), nil))
 	defer srv.Close()

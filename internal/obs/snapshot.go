@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WorkerSnapshotSchema identifies the per-worker fleet snapshot format;
+// the fleet aggregator keys on it before trusting any field.
+const WorkerSnapshotSchema = "modelcheck-worker/v1"
+
+// ClaimInfo describes the ledger claim a worker currently holds. Together
+// with the worker id and ledger epoch it is the correlation key that lets
+// one subtree's lifecycle be followed across processes: the same (claim id,
+// epoch) pair appears in the claim.* events, the "claim" trace spans, and
+// the ledger's own task/lease/result records.
+type ClaimInfo struct {
+	// ID is the ledger task id of the claimed subtree.
+	ID string `json:"id"`
+	// Epoch is the claim's fencing epoch; a reclaimed subtree reappears
+	// at Epoch+1 under a different owner.
+	Epoch int64 `json:"epoch"`
+	// StartedUnixNano is when this worker acquired the claim.
+	StartedUnixNano int64 `json:"started_unix_nano"`
+	// LeaseExpiresUnixNano is the lease expiry as of the last renewal.
+	LeaseExpiresUnixNano int64 `json:"lease_expires_unix_nano"`
+}
+
+// WorkerSnapshot is one ledger worker's periodically published view of
+// itself: its full registry dump plus a heartbeat and its current claim.
+// Workers write it atomically into the shared run directory
+// (<run>/obs/worker-<id>.json, see store.WorkerSnapshotName), so any
+// process — another worker, a one-shot `modelcheck -fleet-status`, a
+// dashboard — can reconstruct the fleet without talking to the workers.
+type WorkerSnapshot struct {
+	// Schema is always WorkerSnapshotSchema.
+	Schema string `json:"schema"`
+	// Worker is the ledger participant id (the -worker-id flag).
+	Worker string `json:"worker"`
+	// PID is the publishing process, for ps(1) correlation.
+	PID int `json:"pid"`
+	// LedgerEpoch identifies the ledger incarnation the worker joined.
+	LedgerEpoch int64 `json:"ledger_epoch"`
+	// StartedUnixNano is when the worker's exploration began.
+	StartedUnixNano int64 `json:"started_unix_nano"`
+	// HeartbeatUnixNano is when this snapshot was taken; its age against
+	// the lease TTL is the fleet's liveness signal.
+	HeartbeatUnixNano int64 `json:"heartbeat_unix_nano"`
+	// Claim is the subtree this worker is enumerating right now (nil
+	// between claims).
+	Claim *ClaimInfo `json:"claim,omitempty"`
+	// Metrics is the worker's full registry snapshot.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// Validate checks the snapshot against its documented schema.
+func (ws *WorkerSnapshot) Validate() error {
+	if ws.Schema != WorkerSnapshotSchema {
+		return fmt.Errorf("obs: worker snapshot schema %q, want %q", ws.Schema, WorkerSnapshotSchema)
+	}
+	if ws.Worker == "" {
+		return fmt.Errorf("obs: worker snapshot with no worker id")
+	}
+	if ws.HeartbeatUnixNano == 0 {
+		return fmt.Errorf("obs: worker snapshot %s has no heartbeat", ws.Worker)
+	}
+	return nil
+}
+
+// Encode validates and marshals the snapshot for atomic publication.
+func (ws *WorkerSnapshot) Encode() ([]byte, error) {
+	if err := ws.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(ws, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// LoadSnapshot reads and validates one published worker snapshot. Because
+// publishers write via the store's atomic rename discipline, a reader never
+// sees a torn file — only a missing one (worker not yet published) or a
+// stale one (heartbeat age tells).
+func LoadSnapshot(path string) (*WorkerSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	var ws WorkerSnapshot
+	if err := json.Unmarshal(data, &ws); err != nil {
+		return nil, fmt.Errorf("obs: corrupt worker snapshot %s: %w", path, err)
+	}
+	if err := ws.Validate(); err != nil {
+		return nil, err
+	}
+	return &ws, nil
+}
+
+// MergeSnapshots folds per-worker registry snapshots into one fleet-wide
+// snapshot: counters and gauges are summed by name (per-worker gauges are
+// capacity-style — explore.workers sums to the fleet's total parallelism),
+// and histograms with identical bounds are merged bucket-by-bucket with
+// Min/Max folded over the workers that observed anything. A histogram name
+// whose bounds disagree across workers is omitted from the merge — two
+// shapes cannot be summed honestly — rather than silently misbinned.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	m := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	mismatched := map[string]bool{}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			m.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			m.Gauges[name] += v
+		}
+		for name, h := range s.Histograms {
+			if mismatched[name] {
+				continue
+			}
+			cur, ok := m.Histograms[name]
+			if !ok {
+				m.Histograms[name] = copyHistogram(h)
+				continue
+			}
+			merged, ok := mergeHistograms(cur, h)
+			if !ok {
+				mismatched[name] = true
+				delete(m.Histograms, name)
+				continue
+			}
+			m.Histograms[name] = merged
+		}
+	}
+	return m
+}
+
+func copyHistogram(h HistogramSnapshot) HistogramSnapshot {
+	h.Bounds = append([]float64(nil), h.Bounds...)
+	h.Counts = append([]int64(nil), h.Counts...)
+	return h
+}
+
+// mergeHistograms folds b into a copy of a. false means the bounds (or
+// bucket layouts) disagree and the pair cannot be merged.
+func mergeHistograms(a, b HistogramSnapshot) (HistogramSnapshot, bool) {
+	if len(a.Bounds) != len(b.Bounds) || len(a.Counts) != len(b.Counts) {
+		return HistogramSnapshot{}, false
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return HistogramSnapshot{}, false
+		}
+	}
+	m := copyHistogram(a)
+	for i := range b.Counts {
+		m.Counts[i] += b.Counts[i]
+	}
+	m.Count += b.Count
+	m.Sum += b.Sum
+	// Min/Max are meaningful only where something was observed: an empty
+	// worker's zero-valued extremes must not clamp the fleet's.
+	switch {
+	case a.Count == 0:
+		m.Min, m.Max = b.Min, b.Max
+	case b.Count == 0:
+		// keep a's extremes
+	default:
+		if b.Min < m.Min {
+			m.Min = b.Min
+		}
+		if b.Max > m.Max {
+			m.Max = b.Max
+		}
+	}
+	return m, true
+}

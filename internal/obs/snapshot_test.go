@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleSnapshot() *WorkerSnapshot {
+	reg := NewRegistry()
+	reg.Counter("explore.executions").Add(42)
+	reg.Counter("explore.violations").Add(1)
+	reg.Gauge("explore.workers").Set(4)
+	h := reg.Histogram("explore.claim.paths", 1, 2, 4, 8)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100)
+	return &WorkerSnapshot{
+		Schema:            WorkerSnapshotSchema,
+		Worker:            "worker-a",
+		PID:               12345,
+		LedgerEpoch:       2,
+		StartedUnixNano:   1_000,
+		HeartbeatUnixNano: 2_000,
+		Claim: &ClaimInfo{
+			ID: "0041", Epoch: 3, StartedUnixNano: 1_500, LeaseExpiresUnixNano: 7_000,
+		},
+		Metrics: reg.Snapshot(),
+	}
+}
+
+// TestWorkerSnapshotRoundTrip: Encode and LoadSnapshot are inverses, so a
+// fleet reader reconstructs exactly what the worker published — registry
+// counters, histogram buckets, claim, and all.
+func TestWorkerSnapshotRoundTrip(t *testing.T) {
+	ws := sampleSnapshot()
+	data, err := ws.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "worker-a.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ws) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, ws)
+	}
+	if got.Metrics.Counters["explore.executions"] != 42 {
+		t.Errorf("executions = %d", got.Metrics.Counters["explore.executions"])
+	}
+	h := got.Metrics.Histograms["explore.claim.paths"]
+	if h.Count != 3 || h.Counts[len(h.Counts)-1] != 1 {
+		t.Errorf("histogram through JSON: %+v", h)
+	}
+}
+
+// TestWorkerSnapshotValidate: a snapshot that lies about its schema, lacks
+// a worker id, or never heartbeat must be rejected at both encode and load.
+func TestWorkerSnapshotValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*WorkerSnapshot)
+	}{
+		{"wrong schema", func(ws *WorkerSnapshot) { ws.Schema = "modelcheck-worker/v0" }},
+		{"empty worker", func(ws *WorkerSnapshot) { ws.Worker = "" }},
+		{"zero heartbeat", func(ws *WorkerSnapshot) { ws.HeartbeatUnixNano = 0 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ws := sampleSnapshot()
+			tc.mutate(ws)
+			if _, err := ws.Encode(); err == nil {
+				t.Error("Encode accepted an invalid snapshot")
+			}
+		})
+	}
+}
+
+// TestLoadSnapshotRejectsDebris: missing files and non-snapshot JSON both
+// fail loudly — the fleet aggregator turns these into anomalies, not rows.
+func TestLoadSnapshotRejectsDebris(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadSnapshot(filepath.Join(dir, "worker-x.json")); err == nil {
+		t.Error("loaded a missing snapshot")
+	}
+	bad := filepath.Join(dir, "worker-y.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(bad); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("corrupt snapshot error = %v", err)
+	}
+	foreign := filepath.Join(dir, "worker-z.json")
+	if err := os.WriteFile(foreign, []byte(`{"schema":"something-else/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(foreign); err == nil {
+		t.Error("loaded a foreign-schema snapshot")
+	}
+}
+
+// TestHistogramBoundEdges pins the bucket convention the fleet merge
+// depends on: bounds are inclusive upper edges (Prometheus "le"), values
+// above the last bound and +Inf land in the overflow bucket, NaN is
+// dropped entirely.
+func TestHistogramBoundEdges(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	h.Observe(0.5)          // below first bound -> bucket 0
+	h.Observe(1)            // exactly on a bound is inclusive -> bucket 0
+	h.Observe(2)            // -> bucket 1
+	h.Observe(4)            // exactly the last bound -> bucket 2, not overflow
+	h.Observe(4.0001)       // just above -> overflow
+	h.Observe(math.Inf(1))  // +Inf -> overflow
+	h.Observe(math.NaN())   // dropped
+	h.Observe(math.Inf(-1)) // -Inf -> bucket 0
+
+	s := h.Snapshot()
+	wantCounts := []int64{3, 1, 1, 2}
+	if !reflect.DeepEqual(s.Counts, wantCounts) {
+		t.Errorf("counts = %v, want %v", s.Counts, wantCounts)
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7 (NaN dropped)", s.Count)
+	}
+	if !math.IsInf(s.Min, -1) || !math.IsInf(s.Max, 1) {
+		t.Errorf("extremes = [%v, %v]", s.Min, s.Max)
+	}
+}
+
+// TestMergeSnapshots: counters and gauges sum by name; histograms with
+// identical bounds merge bucket-wise with Min/Max folded over workers that
+// observed anything.
+func TestMergeSnapshots(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("explore.executions").Add(10)
+	a.Counter("only.a").Add(1)
+	a.Gauge("explore.workers").Set(2)
+	ha := a.Histogram("depth", 1, 2, 4)
+	ha.Observe(1)
+	ha.Observe(3)
+
+	b := NewRegistry()
+	b.Counter("explore.executions").Add(32)
+	b.Gauge("explore.workers").Set(3)
+	hb := b.Histogram("depth", 1, 2, 4)
+	hb.Observe(0.5)
+	hb.Observe(9)
+
+	m := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if m.Counters["explore.executions"] != 42 || m.Counters["only.a"] != 1 {
+		t.Errorf("counters = %v", m.Counters)
+	}
+	if m.Gauges["explore.workers"] != 5 {
+		t.Errorf("gauges = %v", m.Gauges)
+	}
+	h, ok := m.Histograms["depth"]
+	if !ok {
+		t.Fatal("depth histogram missing from merge")
+	}
+	if h.Count != 4 || h.Sum != 13.5 {
+		t.Errorf("merged count/sum = %d/%v", h.Count, h.Sum)
+	}
+	if want := []int64{2, 0, 1, 1}; !reflect.DeepEqual(h.Counts, want) {
+		t.Errorf("merged counts = %v, want %v", h.Counts, want)
+	}
+	if h.Min != 0.5 || h.Max != 9 {
+		t.Errorf("merged extremes = [%v, %v], want [0.5, 9]", h.Min, h.Max)
+	}
+}
+
+// TestMergeSnapshotsEmptySide: an idle worker's zero-valued histogram
+// extremes must not clamp the fleet's Min/Max.
+func TestMergeSnapshotsEmptySide(t *testing.T) {
+	busy := NewRegistry()
+	h := busy.Histogram("depth", 1, 2)
+	h.Observe(1.5)
+	idle := NewRegistry()
+	idle.Histogram("depth", 1, 2) // registered, never observed
+
+	for _, order := range [][]Snapshot{
+		{busy.Snapshot(), idle.Snapshot()},
+		{idle.Snapshot(), busy.Snapshot()},
+	} {
+		m := MergeSnapshots(order...)
+		got := m.Histograms["depth"]
+		if got.Count != 1 || got.Min != 1.5 || got.Max != 1.5 {
+			t.Errorf("merge with empty side: %+v", got)
+		}
+	}
+}
+
+// TestMergeSnapshotsMismatchedBounds: two shapes cannot be summed honestly,
+// so a histogram whose bounds disagree across workers is omitted — from
+// every snapshot, including ones seen after the mismatch.
+func TestMergeSnapshotsMismatchedBounds(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("depth", 1, 2, 4).Observe(1)
+	a.Histogram("keep", 10).Observe(5)
+	b := NewRegistry()
+	b.Histogram("depth", 1, 2, 8).Observe(1)
+	c := NewRegistry()
+	c.Histogram("depth", 1, 2, 4).Observe(2)
+
+	m := MergeSnapshots(a.Snapshot(), b.Snapshot(), c.Snapshot())
+	if _, ok := m.Histograms["depth"]; ok {
+		t.Error("mismatched-bounds histogram survived the merge")
+	}
+	if m.Histograms["keep"].Count != 1 {
+		t.Errorf("unrelated histogram lost: %+v", m.Histograms)
+	}
+}
+
+// TestMergeSnapshotsDoesNotAliasInputs: the merge must deep-copy bucket
+// slices — mutating the merged view must never write through to a worker's
+// snapshot (or vice versa).
+func TestMergeSnapshotsDoesNotAliasInputs(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("depth", 1, 2).Observe(1)
+	in := a.Snapshot()
+	m := MergeSnapshots(in)
+	m.Histograms["depth"].Counts[0] = 99
+	if in.Histograms["depth"].Counts[0] == 99 {
+		t.Error("merged histogram aliases the input's bucket slice")
+	}
+}

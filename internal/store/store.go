@@ -18,6 +18,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,6 +34,7 @@ const (
 	manifestFile   = "manifest.json"
 	checkpointFile = "checkpoint.json"
 	lockFile       = "owner.json"
+	obsDirName     = "obs"
 )
 
 // Manifest pins down what a run directory explores. Every field that
@@ -479,6 +481,47 @@ func writeTemp(dir, name string, data []byte) (string, error) {
 		return "", fmt.Errorf("store: %w", err)
 	}
 	return tmpName, nil
+}
+
+// ObsDir returns (creating if needed) the run directory's observability
+// subdirectory, where ledger workers publish their fleet snapshots
+// (worker-<id>.json) beside the manifest and the ledger itself.
+func ObsDir(runDir string) (string, error) {
+	dir := filepath.Join(runDir, obsDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	return dir, nil
+}
+
+// WorkerSnapshotName is the file-name convention for one worker's fleet
+// snapshot under ObsDir. Worker ids follow the ledger's owner rules (no
+// path separators), so the name is always a single path element.
+func WorkerSnapshotName(worker string) string {
+	return "worker-" + worker + ".json"
+}
+
+// ListWorkerSnapshots returns the sorted paths of every published worker
+// snapshot in runDir's obs directory. A run with no obs directory (no
+// snapshot-publishing worker ever joined) lists empty, not an error.
+func ListWorkerSnapshots(runDir string) ([]string, error) {
+	dir := filepath.Join(runDir, obsDirName)
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var paths []string
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, "worker-") && strings.HasSuffix(name, ".json") &&
+			!strings.Contains(name, ".tmp") {
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	}
+	return paths, nil
 }
 
 // syncDir fsyncs a directory so a just-committed rename or link survives a

@@ -55,6 +55,17 @@ go test -count=1 ./internal/ledger/
 go test -count=1 -run 'TestEngineLedger' ./internal/explore/
 go test -count=1 -run 'TestCLILedger' .
 
+echo "== fleet gate (cross-worker observability, fresh) =="
+# Fleet observability is how a distributed run is watched: per-worker
+# snapshots merge into one view whose totals must agree with the finalize
+# merge, and a frozen worker must surface as stale with its reaped claim
+# traceable across the survivors' event logs. Package tests exercise every
+# anomaly rule on synthetic inputs; the CLI test SIGSTOPs a real worker
+# and follows the reclaim chain. Uncached.
+go test -count=1 ./internal/obs/fleet/
+go test -count=1 -run 'TestEngineFleet' ./internal/explore/
+go test -count=1 -run 'TestCLIFleet' .
+
 echo "== exec-form equivalence gate (compiled vs interpreted covering sweeps) =="
 # The compiled Stepper machines must enumerate the SAME execution tree as
 # the goroutine-gated reference simulator, leaf for leaf: every protocol
