@@ -96,6 +96,7 @@ func main() {
 		n         = flag.Int("n", 2, "number of processes")
 		kindName  = flag.String("fault", "overriding", "fault kind: overriding | silent")
 		engine    = flag.String("engine", "auto", "execution form: auto | compiled | interpreted (goroutine reference)")
+		reduceF   = flag.String("reduce", "off", "partial-order reduction: off | on (sleep sets + symmetry; keeps verdict and lex-least counterexample) | aggressive (adds footprint persistent sets; verdict only, compiled form required)")
 		unbounded = flag.Bool("unbounded", false, "unbounded faults per faulty object")
 		faulty    = flag.Int("faulty", -1, "number of faulty objects (default: all of the protocol's objects)")
 		maxExecs  = flag.Int("max", explore.DefaultMaxExecutions, "execution cap")
@@ -183,6 +184,7 @@ func main() {
 		"faulty":    func(v string) { *faulty = atoi(v) },
 		"dedup":     func(v string) { *dedup = v == "true" },
 		"engine":    func(v string) { *engine = v },
+		"reduce":    func(v string) { *reduceF = v },
 	}
 	var st *store.Store
 	if *resume != "" {
@@ -259,6 +261,11 @@ func main() {
 		fail("%v", err)
 	}
 	execLabel := run.ExecLabel(compiled)
+	reduceMode, err := run.ParseReduceMode(strings.ToLower(*reduceF))
+	if err != nil {
+		fail("%v", err)
+	}
+	reduceLabel := reduceMode.String()
 
 	cfg := explore.ConfigFrom(run.NewSettings(
 		run.WithProtocol(proto),
@@ -267,12 +274,13 @@ func main() {
 		run.WithFaultKind(kind),
 		run.WithMaxExecutions(*maxExecs),
 		run.WithExecMode(execMode),
+		run.WithReduce(reduceMode),
 	))
 
 	if *finalizeF != "" {
 		finalizeLedger(cfg, *finalizeF, proto, execLabel, ids, perObject, *n,
 			*jsonOut, *diagram, *reportOut,
-			settingsMeta(*protoName, *kindName, *engine, execLabel, *f, *t, *n, *faulty, *unbounded, *dedup))
+			settingsMeta(*protoName, *kindName, *engine, execLabel, reduceLabel, *f, *t, *n, *faulty, *unbounded, *dedup))
 		return
 	}
 
@@ -290,7 +298,7 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		m.Extra = settingsMeta(*protoName, *kindName, *engine, execLabel, *f, *t, *n, *faulty, *unbounded, *dedup)
+		m.Extra = settingsMeta(*protoName, *kindName, *engine, execLabel, reduceLabel, *f, *t, *n, *faulty, *unbounded, *dedup)
 		if st, err = store.Create(*checkpt, m); err != nil {
 			fail("%v", err)
 		}
@@ -317,7 +325,7 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		m.Extra = settingsMeta(*protoName, *kindName, *engine, execLabel, *f, *t, *n, *faulty, *unbounded, *dedup)
+		m.Extra = settingsMeta(*protoName, *kindName, *engine, execLabel, reduceLabel, *f, *t, *n, *faulty, *unbounded, *dedup)
 		m.LedgerEpoch = led.Epoch()
 		sm, err := store.CreateShared(*ledgerF, m)
 		if errors.Is(err, fs.ErrExist) {
@@ -381,7 +389,7 @@ func main() {
 	if *traceDir != "" {
 		var err error
 		tracer, err = explore.NewTracer(*traceDir, *traceN,
-			settingsMeta(*protoName, *kindName, *engine, execLabel, *f, *t, *n, *faulty, *unbounded, *dedup))
+			settingsMeta(*protoName, *kindName, *engine, execLabel, reduceLabel, *f, *t, *n, *faulty, *unbounded, *dedup))
 		if err != nil {
 			fail("%v", err)
 		}
@@ -455,7 +463,7 @@ func main() {
 		fail("event log: %v", err)
 	}
 	if *reportOut != "" {
-		meta := settingsMeta(*protoName, *kindName, *engine, execLabel, *f, *t, *n, *faulty, *unbounded, *dedup)
+		meta := settingsMeta(*protoName, *kindName, *engine, execLabel, reduceLabel, *f, *t, *n, *faulty, *unbounded, *dedup)
 		meta["workers"] = strconv.Itoa(out.Workers)
 		meta["max"] = strconv.Itoa(*maxExecs)
 		if err := obs.WriteReport(*reportOut, buildReport(out, reg, events, meta)); err != nil {
@@ -477,9 +485,12 @@ func main() {
 			out.Workers, float64(out.Executions)/secs, out.Elapsed.Round(time.Millisecond))
 	}
 	if out.Dedup != nil {
-		fmt.Printf("dedup       : %d states, %d of %d replays pruned (%.1f%%), %d executions saved\n",
-			out.Dedup.States, out.Dedup.Hits, out.Dedup.LeafLookups, 100*out.Dedup.HitRate(),
-			out.Dedup.ExecutionsSaved)
+		fmt.Printf("dedup       : %d states, %d of %d replays pruned (%.1f%% hit rate)\n",
+			out.Dedup.States, out.Dedup.Hits, out.Dedup.LeafLookups, 100*out.Dedup.HitRate())
+	}
+	if cfg.Reduce != run.ReduceOff {
+		fmt.Printf("reduce      : %s, %d sleep-blocked subtrees pruned\n",
+			reduceLabel, out.ReducePrunes)
 	}
 	if deadlineHit {
 		fmt.Printf("deadline    : %s exceeded — partial exploration\n", *deadline)
@@ -646,8 +657,11 @@ func (r *progressReporter) flush() { r.w.Flush() } //nolint:errcheck // stderr
 // the checkpoint manifest (Extra), the trace/v1 header, and the -report Run
 // section. engine is the -engine flag as given (so a resume restores it
 // verbatim); exec is the resolved execution form ("compiled"/"interpreted"),
-// sealed so replays of the artifact run under the form that produced it.
-func settingsMeta(protoName, kindName, engine, exec string, f, t, n, faulty int, unbounded, dedup bool) map[string]string {
+// sealed so replays of the artifact run under the form that produced it;
+// reduce is the resolved reduction mode, sealed for the same reason — a
+// reduced tree has different choice-path coordinates, so -explain and
+// resume must replay under the mode that produced the artifact.
+func settingsMeta(protoName, kindName, engine, exec, reduce string, f, t, n, faulty int, unbounded, dedup bool) map[string]string {
 	return map[string]string{
 		"proto":     strings.ToLower(protoName),
 		"f":         strconv.Itoa(f),
@@ -659,6 +673,7 @@ func settingsMeta(protoName, kindName, engine, exec string, f, t, n, faulty int,
 		"dedup":     strconv.FormatBool(dedup),
 		"engine":    strings.ToLower(engine),
 		"exec":      exec,
+		"reduce":    reduce,
 	}
 }
 
@@ -718,9 +733,8 @@ func finalizeLedger(cfg explore.Config, dir string, proto core.Protocol, execLab
 			time.Duration(merged.ElapsedNS).Round(time.Millisecond),
 			time.Duration(merged.TotalWorkNS).Round(time.Millisecond))
 	}
-	if merged.DedupSaved > 0 || merged.DedupHits > 0 {
-		fmt.Printf("dedup       : %d replays pruned, %d executions saved (per-process caches)\n",
-			merged.DedupHits, merged.DedupSaved)
+	if merged.DedupHits > 0 {
+		fmt.Printf("dedup       : %d replays pruned (per-process caches)\n", merged.DedupHits)
 	}
 
 	if out.Violation == nil {

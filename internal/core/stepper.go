@@ -61,6 +61,18 @@ type Stepper interface {
 	// done=true with the decided value once the process has decided; the
 	// machine must not be stepped further after that.
 	Step(st *State, env Env) (done bool, decided int64)
+	// Pending reports the CAS the next Step call will issue from st — the
+	// object index and the exp/new arguments — without performing it. It is
+	// a pure function of st: the exploration engine uses it to compute the
+	// independence relation for partial-order reduction, so it must return
+	// exactly the arguments the next Step passes to env.CAS.
+	Pending(st *State) (obj int, exp, new word.Word)
+	// Footprint reports the inclusive object-index interval [lo, hi] the
+	// machine may still touch from st, over its whole remaining execution.
+	// A sound over-approximation is required (the persistent-set pruner
+	// treats disjoint footprints as permanently independent); the four
+	// paper machines return exact intervals.
+	Footprint(st *State) (lo, hi int)
 }
 
 // Steppable is implemented by protocols that provide a compiled form.
@@ -100,6 +112,14 @@ func (singleStepper) Step(st *State, env Env) (bool, int64) {
 	return true, st.Out
 }
 
+// Pending implements Stepper: Figure 1's only CAS.
+func (singleStepper) Pending(st *State) (int, word.Word, word.Word) {
+	return 0, word.Bottom, st.Val
+}
+
+// Footprint implements Stepper: the single object.
+func (singleStepper) Footprint(*State) (int, int) { return 0, 0 }
+
 // fPlusOneStepper is the Figure 2 machine: one CAS per object in order,
 // adopting any non-⊥ content seen; the pass over object f decides.
 type fPlusOneStepper struct {
@@ -129,6 +149,14 @@ func (m fPlusOneStepper) Step(st *State, env Env) (bool, int64) {
 	return false, 0
 }
 
+// Pending implements Stepper: the next pass's CAS on object I.
+func (fPlusOneStepper) Pending(st *State) (int, word.Word, word.Word) {
+	return st.I, word.Bottom, st.Val
+}
+
+// Footprint implements Stepper: objects I..f remain to be visited.
+func (m fPlusOneStepper) Footprint(st *State) (int, int) { return st.I, m.f }
+
 // silentStepper is the Section 3.4 retry machine: CAS(O, ⊥, val) until a
 // non-⊥ old value appears.
 type silentStepper struct{}
@@ -150,6 +178,14 @@ func (silentStepper) Step(st *State, env Env) (bool, int64) {
 	}
 	return false, 0
 }
+
+// Pending implements Stepper: every retry issues the same CAS.
+func (silentStepper) Pending(st *State) (int, word.Word, word.Word) {
+	return 0, word.Bottom, st.Val
+}
+
+// Footprint implements Stepper: the single object.
+func (silentStepper) Footprint(*State) (int, int) { return 0, 0 }
 
 // stagedStepper is the Figure 3 machine. Its two program counters cover the
 // protocol's two CAS sites: pcStage is line 6 (the per-object install loop
@@ -231,4 +267,23 @@ func (m stagedStepper) Step(st *State, env Env) (bool, int64) {
 		st.PC = pcFinal
 	}
 	return false, 0
+}
+
+// Pending implements Stepper: line 20's final install or line 6's
+// per-object install, depending on the program counter.
+func (m stagedStepper) Pending(st *State) (int, word.Word, word.Word) {
+	if st.PC == pcFinal {
+		return 0, st.Exp, word.Pack(st.Out, m.maxStage)
+	}
+	return st.I, st.Exp, word.Pack(st.Out, st.S)
+}
+
+// Footprint implements Stepper: the stage loop sweeps O_0..O_{f-1} and the
+// final stage lands on O_0, so the whole remaining execution stays inside
+// [0, f-1] (pcFinal narrows to O_0 alone).
+func (m stagedStepper) Footprint(st *State) (int, int) {
+	if st.PC == pcFinal {
+		return 0, 0
+	}
+	return 0, m.f - 1
 }

@@ -97,15 +97,12 @@ type Set struct {
 	hits     atomic.Int64
 	improved atomic.Int64
 
-	// leafLookups and saved are engine-side effectiveness counters: Visit
-	// runs once per scheduling decision (so Lookups counts steps, not
+	// leafLookups is the engine-side effectiveness denominator: Visit runs
+	// once per scheduling decision (so Lookups counts steps, not
 	// executions, and most of them are Revisits of the worker's own
-	// prefix), while a whole execution is what a Prune actually saves.
-	// The engine calls LeafLookup once per replayed leaf and
-	// ExecutionSaved once per pruned replay, making Hits/LeafLookups the
-	// honest hit rate.
+	// prefix). The engine calls LeafLookup once per replayed leaf — pruned
+	// or completed — making Hits/LeafLookups the honest hit rate.
 	leafLookups atomic.Int64
-	saved       atomic.Int64
 }
 
 // NewSet returns an empty set holding at most limit states (0 = unlimited).
@@ -153,10 +150,6 @@ func (s *Set) Visit(fp Fingerprint, path []int) Decision {
 // exploration engine) invoke it once per completed or pruned replay.
 func (s *Set) LeafLookup() { s.leafLookups.Add(1) }
 
-// ExecutionSaved counts one whole execution eliminated by a Prune decision.
-// Incremented by the engine at its prune site.
-func (s *Set) ExecutionSaved() { s.saved.Add(1) }
-
 // compact stores a choice path in 32-bit cells (arities are tiny).
 func compact(path []int) []int32 {
 	c := make([]int32, len(path))
@@ -202,10 +195,14 @@ type Stats struct {
 	// LeafLookups is the number of replayed leaves that consulted the set
 	// (one per execution, pruned or completed — versus Lookups, which is
 	// one per scheduling decision).
+	//
+	// There is deliberately no "executions saved" counter here: a pruned
+	// replay cuts a whole unexplored subtree, and the number of leaves
+	// that subtree would have had is unknowable without exploring it. The
+	// honest savings measure is leaf-level — compare Executions of a
+	// deduplicated run against the same run with dedup off (scripts/bench.sh
+	// records exactly that as executions_saved_fraction).
 	LeafLookups int64
-	// ExecutionsSaved is the number of whole executions eliminated at the
-	// engine's prune site.
-	ExecutionsSaved int64
 }
 
 // HitRate is the fraction of replayed leaves that were pruned: Hits over
@@ -226,12 +223,11 @@ func (s Stats) HitRate() float64 {
 // Stats returns the current counters.
 func (s *Set) Stats() Stats {
 	return Stats{
-		States:          s.size.Load(),
-		Lookups:         s.lookups.Load(),
-		Hits:            s.hits.Load(),
-		Improved:        s.improved.Load(),
-		LeafLookups:     s.leafLookups.Load(),
-		ExecutionsSaved: s.saved.Load(),
+		States:      s.size.Load(),
+		Lookups:     s.lookups.Load(),
+		Hits:        s.hits.Load(),
+		Improved:    s.improved.Load(),
+		LeafLookups: s.leafLookups.Load(),
 	}
 }
 
@@ -248,7 +244,6 @@ func (s *Set) Register(reg *obs.Registry) {
 	reg.Func("dedup.hits", s.hits.Load)
 	reg.Func("dedup.improved", s.improved.Load)
 	reg.Func("dedup.leaf_lookups", s.leafLookups.Load)
-	reg.Func("dedup.executions_saved", s.saved.Load)
 }
 
 // Entry is one persisted state: its fingerprint and representative path.

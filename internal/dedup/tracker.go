@@ -1,8 +1,6 @@
 package dedup
 
 import (
-	"sort"
-
 	"repro/internal/fault"
 	"repro/internal/trace"
 	"repro/internal/word"
@@ -31,13 +29,25 @@ import (
 // core.Env: the environment exposes no process identity, so process
 // programs differ only by their input value — which the digest seed
 // captures — and the consensus conditions are invariant under renaming.
+//
+// The fingerprint is maintained incrementally: each register slot and each
+// process digest contributes one mixed term to a pair of commutative
+// accumulators, and Observe replaces the changed slot's term (subtract old,
+// add new) instead of rehashing the whole state. Fingerprint is therefore
+// O(1) per probe — the explorer fingerprints before every scheduling
+// decision, and the old O(objects + n log n) walk dominated deduplicated
+// replays. Addition is commutative, so the symmetric multiset view needs no
+// sort: unsalted process terms are order-blind by construction, while
+// register terms stay salted by slot index.
 type Tracker struct {
 	inputs    []int64
 	regs      []word.Word
 	procs     []uint64
 	charges   []uint32
 	symmetric bool
-	scratch   []uint64
+
+	regSalt []uint64 // per-slot salt for register terms
+	hi, lo  uint64   // commutative accumulators over all slot terms
 }
 
 // NewTracker returns a tracker for executions of n = len(inputs) processes
@@ -49,13 +59,57 @@ func NewTracker(objects int, inputs []int64, symmetric bool) *Tracker {
 		procs:     make([]uint64, len(inputs)),
 		charges:   make([]uint32, objects),
 		symmetric: symmetric,
-		scratch:   make([]uint64, len(inputs)),
+		regSalt:   make([]uint64, objects),
+	}
+	for i := range t.regSalt {
+		t.regSalt[i] = mix64(fnvSeed + uint64(i)*fnvPrime)
 	}
 	t.Reset()
 	return t
 }
 
-// Reset restores the initial state (fresh replay).
+// regTerm is object slot i's contribution: the packed (register, charges)
+// value mixed with the slot's salt, in two independent streams.
+func (t *Tracker) regTerm(i int) (hi, lo uint64) {
+	v := uint64(t.regs[i]) ^ uint64(t.charges[i])<<1 ^ t.regSalt[i]
+	return mix64(v), mix64(v ^ fnvSeed2)
+}
+
+// procTerm is process p's contribution. Symmetric trackers drop the process
+// index from the term, turning the accumulated sum into a multiset hash of
+// the digests — renaming-invariant without sorting.
+func (t *Tracker) procTerm(p int) (hi, lo uint64) {
+	d := t.procs[p]
+	if !t.symmetric {
+		d ^= mix64(fnvSeed2 + uint64(p)*fnvPrime)
+	}
+	return mix64(d ^ fnvSeed), mix64(d + fnvSeed2)
+}
+
+// setProc replaces process p's digest and swaps its accumulator term.
+func (t *Tracker) setProc(p int, d uint64) {
+	oh, ol := t.procTerm(p)
+	t.procs[p] = d
+	nh, nl := t.procTerm(p)
+	t.hi += nh - oh
+	t.lo += nl - ol
+}
+
+// setReg replaces object o's register (and optionally bumps its fault
+// charge) and swaps its accumulator term.
+func (t *Tracker) setReg(o int, v word.Word, charge bool) {
+	oh, ol := t.regTerm(o)
+	t.regs[o] = v
+	if charge {
+		t.charges[o]++
+	}
+	nh, nl := t.regTerm(o)
+	t.hi += nh - oh
+	t.lo += nl - ol
+}
+
+// Reset restores the initial state (fresh replay) and rebuilds the
+// accumulators from scratch.
 func (t *Tracker) Reset() {
 	for i := range t.regs {
 		t.regs[i] = word.Bottom
@@ -63,6 +117,17 @@ func (t *Tracker) Reset() {
 	}
 	for i, in := range t.inputs {
 		t.procs[i] = mix64(fnvSeed ^ uint64(in))
+	}
+	t.hi, t.lo = fnvSeed, fnvSeed2
+	for i := range t.regs {
+		h, l := t.regTerm(i)
+		t.hi += h
+		t.lo += l
+	}
+	for p := range t.procs {
+		h, l := t.procTerm(p)
+		t.hi += h
+		t.lo += l
 	}
 }
 
@@ -72,46 +137,38 @@ func (t *Tracker) Reset() {
 func (t *Tracker) Observe(e trace.Event) {
 	switch e.Kind {
 	case trace.EventCAS:
-		t.regs[e.Object] = e.Post
-		if e.Fault != fault.None {
-			t.charges[e.Object]++
-		}
+		t.setReg(e.Object, e.Post, e.Fault != fault.None)
 		// The process observes only the returned old value (a silent
 		// fault is invisible to it); which operation it issued is a
 		// function of its local state, so (object, old) per response
 		// pins the continuation.
-		t.procs[e.Proc] = roll(t.procs[e.Proc], uint64(e.Object)<<1|1)
-		t.procs[e.Proc] = roll(t.procs[e.Proc], uint64(e.Old))
+		d := roll(t.procs[e.Proc], uint64(e.Object)<<1|1)
+		t.setProc(e.Proc, roll(d, uint64(e.Old)))
 	case trace.EventDecide:
-		t.procs[e.Proc] = roll(t.procs[e.Proc], 0xD0)
-		t.procs[e.Proc] = roll(t.procs[e.Proc], uint64(e.Value))
+		d := roll(t.procs[e.Proc], 0xD0)
+		t.setProc(e.Proc, roll(d, uint64(e.Value)))
 	case trace.EventCorrupt:
-		t.regs[e.Object] = e.Value
+		t.setReg(e.Object, e.Value, false)
 	case trace.EventHalt:
-		t.procs[e.Proc] = roll(t.procs[e.Proc], 0xA1)
+		t.setProc(e.Proc, roll(t.procs[e.Proc], 0xA1))
 	}
 }
 
-// Fingerprint renders the current canonical state as a 128-bit hash.
+// Fingerprint renders the current canonical state as a 128-bit hash. O(1):
+// the accumulators are maintained by Observe; only the finalizer runs here.
 func (t *Tracker) Fingerprint() Fingerprint {
-	procs := t.procs
-	if t.symmetric {
-		procs = t.scratch
-		copy(procs, t.procs)
-		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
-	}
-	hi, lo := uint64(fnvSeed), uint64(fnvSeed2)
-	for i, r := range t.regs {
-		v := uint64(r) ^ uint64(t.charges[i])<<1
-		hi = roll(hi, v)
-		lo = roll2(lo, v)
-	}
-	for _, d := range procs {
-		hi = roll(hi, d)
-		lo = roll2(lo, d)
-	}
-	return Fingerprint{Hi: mix64(hi), Lo: mix64(lo)}
+	return Fingerprint{Hi: mix64(t.hi), Lo: mix64(t.lo)}
 }
+
+// Register returns the tracked content of CAS register o — the value the
+// next operation on o will read. The exploration reducer's independence
+// relation consults it to decide whether a pending CAS is a pure read.
+func (t *Tracker) Register(o int) word.Word { return t.regs[o] }
+
+// ProcDigest returns process p's local-state digest. Equal digests mean
+// equal local states (same input, same observed responses), which is what
+// lets the reducer canonicalize process-symmetric branch points.
+func (t *Tracker) ProcDigest(p int) uint64 { return t.procs[p] }
 
 const (
 	fnvSeed  = 0xcbf29ce484222325
@@ -119,10 +176,9 @@ const (
 	fnvPrime = 0x100000001b3
 )
 
-// roll and roll2 are two independent multiply-xor rolling hashes; mix64 is
+// roll is a multiply-xor rolling hash for the per-process digests; mix64 is
 // the splitmix64 finalizer for avalanche.
-func roll(h, v uint64) uint64  { return (h ^ mix64(v)) * fnvPrime }
-func roll2(h, v uint64) uint64 { return (h + mix64(v^fnvSeed2)) * 0x9ddfea08eb382d69 }
+func roll(h, v uint64) uint64 { return (h ^ mix64(v)) * fnvPrime }
 
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/word"
 )
 
 // TestCompiledMatchesInterpreted is the equivalence gate of the compiled
@@ -110,3 +111,7 @@ func (brokenStepper) Step(st *core.State, env core.Env) (bool, int64) {
 	env.CAS(0, 0, 0) // wrong arguments: never installs the input
 	return true, st.Out
 }
+
+func (brokenStepper) Pending(*core.State) (int, word.Word, word.Word) { return 0, 0, 0 }
+
+func (brokenStepper) Footprint(*core.State) (int, int) { return 0, 0 }

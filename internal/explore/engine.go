@@ -151,15 +151,16 @@ const DefaultLeaseSize = 64
 // registry sees exact totals at every lease boundary without a shared
 // counter bounce on every replay.
 type runMetrics struct {
-	execs      *obs.Counter // completed replays (flushed per lease)
-	restored   *obs.Counter // executions primed from a resumed checkpoint
-	violations *obs.Counter
-	prunes     *obs.Counter // replays halted at an already-covered state
-	donations  *obs.Counter // subtree tasks pushed to the frontier
-	steals     *obs.Counter // tasks claimed from the frontier
-	ckptSaves  *obs.Counter
-	ckptMS     *obs.Histogram // full saveCheckpoint duration (snapshot+write)
-	depth      *obs.Histogram // root depth of tasks entering the frontier
+	execs        *obs.Counter // completed replays (flushed per lease)
+	restored     *obs.Counter // executions primed from a resumed checkpoint
+	violations   *obs.Counter
+	prunes       *obs.Counter // replays halted at an already-covered state
+	reducePrunes *obs.Counter // replays halted at a sleep-blocked node
+	donations    *obs.Counter // subtree tasks pushed to the frontier
+	steals       *obs.Counter // tasks claimed from the frontier
+	ckptSaves    *obs.Counter
+	ckptMS       *obs.Histogram // full saveCheckpoint duration (snapshot+write)
+	depth        *obs.Histogram // root depth of tasks entering the frontier
 
 	workerExecs  []*obs.Counter
 	workerSteals []*obs.Counter
@@ -170,13 +171,14 @@ type runMetrics struct {
 // are stable — docs/MODEL.md documents them as the observability schema.
 func newRunMetrics(reg *obs.Registry, workers int) *runMetrics {
 	m := &runMetrics{
-		execs:      reg.Counter("explore.executions"),
-		restored:   reg.Counter("explore.executions.restored"),
-		violations: reg.Counter("explore.violations"),
-		prunes:     reg.Counter("explore.dedup.prunes"),
-		donations:  reg.Counter("explore.frontier.donations"),
-		steals:     reg.Counter("explore.frontier.steals"),
-		ckptSaves:  reg.Counter("explore.checkpoint.saves"),
+		execs:        reg.Counter("explore.executions"),
+		restored:     reg.Counter("explore.executions.restored"),
+		violations:   reg.Counter("explore.violations"),
+		prunes:       reg.Counter("explore.dedup.prunes"),
+		reducePrunes: reg.Counter("explore.reduce.prunes"),
+		donations:    reg.Counter("explore.frontier.donations"),
+		steals:       reg.Counter("explore.frontier.steals"),
+		ckptSaves:    reg.Counter("explore.checkpoint.saves"),
 		ckptMS: reg.Histogram("explore.checkpoint.save_ms",
 			0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000),
 		depth: reg.Histogram("explore.frontier.depth",
@@ -217,7 +219,7 @@ type engineRun struct {
 	// the same one), so the registry reads cumulatively while the cap,
 	// Outcome, Progress, and checkpoints subtract the base to stay
 	// run-scoped.
-	base   struct{ execs, violations, donations, steals int64 }
+	base   struct{ execs, violations, donations, steals, reducePrunes int64 }
 	capped atomic.Bool
 	// bound is the lex-least violating path found so far (pruning bound);
 	// nil until a violation is seen or in Exhaustive mode.
@@ -285,6 +287,7 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 	r.base.violations = r.m.violations.Load()
 	r.base.donations = r.m.donations.Load()
 	r.base.steals = r.m.steals.Load()
+	r.base.reducePrunes = r.m.reducePrunes.Load()
 	reg.Gauge("explore.workers").Set(int64(workers))
 	if e.Dedup {
 		r.set = dedup.NewSet(0)
@@ -368,6 +371,7 @@ func (e *Engine) Check(ctx context.Context, cfg Config) (*Outcome, error) {
 		ViolationLatency: firstAt,
 		Donations:        r.m.donations.Load() - r.base.donations,
 		Steals:           r.m.steals.Load() - r.base.steals,
+		ReducePrunes:     r.m.reducePrunes.Load() - r.base.reducePrunes,
 	}
 	if r.set != nil {
 		st := r.set.Stats()
@@ -447,12 +451,12 @@ func (e *Engine) FindMinimal(ctx context.Context, cfg Config) (*Counterexample, 
 }
 
 // dedupHandle is one worker's deduplication state: the shared fingerprint
-// set, the worker-local canonical-state tracker (reset per replay), and the
-// position at which the current replay was pruned (-1 if it ran to its end).
+// set and the worker-local canonical-state tracker (reset per replay).
+// Where the current replay was pruned lives on the execState (prunedAt),
+// shared with the partial-order reducer.
 type dedupHandle struct {
-	set      *dedup.Set
-	tracker  *dedup.Tracker
-	prunedAt int
+	set     *dedup.Set
+	tracker *dedup.Tracker
 }
 
 // capPool is the execution-cap ledger: workers lease batches of executions
@@ -686,20 +690,27 @@ func (r *engineRun) runSubtree(ctx context.Context, w int, t task, es *execState
 			r.set.LeafLookup()
 		}
 		if pruned {
-			// The replay reached a state some lex-smaller path already
-			// covers: the subtree below the pruned prefix is redundant.
+			// The replay halted at a redundant prefix — a state some
+			// lex-smaller path already covers (dedup), or a sleep-blocked
+			// node (reduction): the subtree below it proves nothing new.
 			// No cap unit was spent — Executions counts completed
 			// replays, and the pruned replay's unit stays in the lease.
-			r.m.prunes.Inc()
-			r.set.ExecutionSaved()
-			r.ev.Emit(obs.Debug, "dedup.prune", map[string]any{
-				"worker": w, "pos": es.dh.prunedAt,
-			})
-			if es.dh.prunedAt <= c.lb {
+			if es.pruneSleep {
+				r.m.reducePrunes.Inc()
+				r.ev.Emit(obs.Debug, "reduce.prune", map[string]any{
+					"worker": w, "pos": es.prunedAt,
+				})
+			} else {
+				r.m.prunes.Inc()
+				r.ev.Emit(obs.Debug, "dedup.prune", map[string]any{
+					"worker": w, "pos": es.prunedAt,
+				})
+			}
+			if es.prunedAt <= c.lb {
 				return true // the whole task is covered elsewhere
 			}
-			c.path = c.path[:es.dh.prunedAt]
-			c.arity = c.arity[:es.dh.prunedAt]
+			c.path = c.path[:es.prunedAt]
+			c.arity = c.arity[:es.prunedAt]
 			if !c.next() {
 				return true
 			}

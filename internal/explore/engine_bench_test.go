@@ -107,6 +107,49 @@ func BenchmarkEngineDedupSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineReduceSweep measures dynamic partial-order reduction
+// against the dedup-only baseline on a completely enumerable covering
+// sweep: figure2's f+1 construction for f=1 with four processes and
+// unbounded overriding faults on its first object. Both rows verify the
+// same space completely; the reduce=on row replays ~3x fewer leaves —
+// sleep sets cut commuting interleavings the state cache cannot see (the
+// cache only merges identical canonical states, sleep sets also kill
+// same-verdict permutations that never revisit a state). One worker keeps
+// the executions metric exactly reproducible; scripts/bench.sh records both
+// rows as por_reduction in BENCH_explore.json and scripts/check.sh gates
+// the ratio at ≥ 3x.
+func BenchmarkEngineReduceSweep(b *testing.B) {
+	cfg := Config{
+		Protocol:        core.NewFPlusOne(1),
+		Inputs:          inputs(4),
+		FaultyObjects:   []int{0},
+		FaultsPerObject: fault.Unbounded,
+		MaxExecutions:   4_000_000,
+	}
+	for _, mode := range []run.ReduceMode{run.ReduceOff, run.ReduceSafe} {
+		b.Run("reduce="+mode.String(), func(b *testing.B) {
+			var execs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.Reduce = mode
+				eng := &Engine{Workers: 1, Dedup: true}
+				out, err := eng.Check(context.Background(), c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !out.Complete || !out.OK() {
+					b.Fatalf("complete=%v violation=%v", out.Complete, out.Violation)
+				}
+				execs += int64(out.Executions)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(execs)/float64(b.N), "executions")
+			b.ReportMetric(float64(execs)/b.Elapsed().Seconds(), "paths/sec")
+		})
+	}
+}
+
 // BenchmarkExecFormCoveringSweep compares the two execution forms on the
 // 4096-execution covering-sweep slab with a single worker, so the ratio
 // isolates per-execution cost: form=compiled drives the core.Stepper

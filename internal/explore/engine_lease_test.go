@@ -16,11 +16,15 @@ import (
 
 // TestDedupStatsLeafAccounting pins the dedup effectiveness accounting on a
 // known sweep (the fully enumerable staged f=1 workload): LeafLookups counts
-// replays (one per completed or pruned execution, not one per step),
-// ExecutionsSaved counts the engine's prunes, and HitRate is hits over leaf
-// lookups. The old formula divided prunes by per-step Visit calls — nearly
-// all of them Revisits of the worker's own prefix — and reported a 60%-
-// savings run as a 1% hit rate.
+// replays (one per completed or pruned execution, not one per step), Hits
+// counts pruned replays, and HitRate is Hits/LeafLookups — the one
+// replay-level pair every surface (CLI, gauges, bench) reports. The old
+// formula divided prunes by per-step Visit calls — nearly all of them
+// Revisits of the worker's own prefix — and reported a 60%-savings run as a
+// 1% hit rate; a later counter ("executions saved") double-reported Hits
+// under a name that promised pruned subtree leaves, which are unknowable
+// without exploring them (leaf-level savings are measured by bench.sh as
+// plain-vs-dedup Executions instead).
 func TestDedupStatsLeafAccounting(t *testing.T) {
 	cfg := Config{
 		Protocol:        core.NewStaged(1, 1),
@@ -41,17 +45,14 @@ func TestDedupStatsLeafAccounting(t *testing.T) {
 	if st == nil {
 		t.Fatal("no dedup stats")
 	}
-	if st.ExecutionsSaved == 0 {
-		t.Fatal("sweep with known state convergence saved no executions")
+	if st.Hits == 0 {
+		t.Fatal("sweep with known state convergence pruned no replays")
 	}
-	// A pruned replay halts at its first Prune decision, so on a single
-	// worker prunes, hits, and saved executions coincide.
-	if st.ExecutionsSaved != st.Hits {
-		t.Errorf("ExecutionsSaved = %d, Hits = %d; want equal", st.ExecutionsSaved, st.Hits)
-	}
-	// Every replay — completed or pruned — is one leaf lookup.
-	if want := int64(out.Executions) + st.ExecutionsSaved; st.LeafLookups != want {
-		t.Errorf("LeafLookups = %d, want executions+saved = %d", st.LeafLookups, want)
+	// Every replay — completed or pruned — is one leaf lookup, and a pruned
+	// replay halts at its first Prune decision, so leaf lookups partition
+	// exactly into completed executions and hits.
+	if want := int64(out.Executions) + st.Hits; st.LeafLookups != want {
+		t.Errorf("LeafLookups = %d, want executions+hits = %d", st.LeafLookups, want)
 	}
 	if got, want := st.HitRate(), float64(st.Hits)/float64(st.LeafLookups); got != want {
 		t.Errorf("HitRate() = %v, want hits/leaf-lookups = %v", got, want)
@@ -67,14 +68,19 @@ func TestDedupStatsLeafAccounting(t *testing.T) {
 	// The engine's prune site and the set's counters agree, and the gauges
 	// are live on the registry.
 	s := reg.Snapshot()
-	if got := s.Counters["explore.dedup.prunes"]; got != st.ExecutionsSaved {
-		t.Errorf("explore.dedup.prunes = %d, ExecutionsSaved = %d", got, st.ExecutionsSaved)
+	if got := s.Counters["explore.dedup.prunes"]; got != st.Hits {
+		t.Errorf("explore.dedup.prunes = %d, Hits = %d", got, st.Hits)
 	}
-	if s.Gauges["dedup.executions_saved"] != st.ExecutionsSaved {
-		t.Errorf("dedup.executions_saved gauge = %d, want %d", s.Gauges["dedup.executions_saved"], st.ExecutionsSaved)
+	if s.Gauges["dedup.hits"] != st.Hits {
+		t.Errorf("dedup.hits gauge = %d, want %d", s.Gauges["dedup.hits"], st.Hits)
 	}
 	if s.Gauges["dedup.leaf_lookups"] != st.LeafLookups {
 		t.Errorf("dedup.leaf_lookups gauge = %d, want %d", s.Gauges["dedup.leaf_lookups"], st.LeafLookups)
+	}
+	// The retired "executions saved" surfaces must stay gone: the counter
+	// was Hits wearing a subtree-leaves name.
+	if _, ok := s.Gauges["dedup.executions_saved"]; ok {
+		t.Error("dedup.executions_saved gauge resurfaced")
 	}
 }
 
@@ -96,9 +102,9 @@ func TestEngineCapExactUnderDedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !full.Complete || full.Dedup.ExecutionsSaved == 0 {
-		t.Fatalf("reference run: complete=%v saved=%d; need a completing sweep with prunes",
-			full.Complete, full.Dedup.ExecutionsSaved)
+	if !full.Complete || full.Dedup.Hits == 0 {
+		t.Fatalf("reference run: complete=%v hits=%d; need a completing sweep with prunes",
+			full.Complete, full.Dedup.Hits)
 	}
 	// Same deterministic single-worker run, cap set to exactly its size:
 	// it must still complete with exactly that many executions.

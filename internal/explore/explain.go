@@ -36,6 +36,9 @@ func Explain(w io.Writer, cfg Config, x *export.Execution) error {
 	if err := checkExecForm(cfg, x.Meta.Run); err != nil {
 		return err
 	}
+	if err := checkReduceMode(cfg, x.Meta.Run); err != nil {
+		return err
+	}
 	ce, err := Replay(cfg, x.Meta.Path)
 	if err != nil {
 		return fmt.Errorf("explore: explain: replay: %w", err)
@@ -128,6 +131,23 @@ func checkExecForm(cfg Config, meta map[string]string) error {
 	}
 	if resolved := run.ExecLabel(compiled); resolved != recorded {
 		return fmt.Errorf("explore: explain: trace was captured by the %s engine but this configuration replays %s; rerun with the matching execution form (-engine %s)",
+			recorded, resolved, recorded)
+	}
+	return nil
+}
+
+// checkReduceMode refuses to verify a capture under a different
+// partial-order reduction mode than the one that produced it: reduced
+// choice paths are coordinates in the reduced tree, so replaying one under
+// another mode consumes the wrong branch alternatives. Captures from before
+// reduction existed carry no reduce entry and replay with reduction off.
+func checkReduceMode(cfg Config, meta map[string]string) error {
+	recorded := meta["reduce"]
+	if recorded == "" {
+		recorded = run.ReduceOff.String()
+	}
+	if resolved := cfg.Reduce.String(); resolved != recorded {
+		return fmt.Errorf("explore: explain: trace was captured with reduction %s but this configuration replays with %s; rerun with the matching reduction mode (-reduce %s)",
 			recorded, resolved, recorded)
 	}
 	return nil

@@ -70,6 +70,14 @@ type Config struct {
 	// whenever the protocol provides a core.Stepper). Both forms enumerate
 	// identical trees with identical verdicts and counterexamples.
 	Exec run.ExecMode
+	// Reduce selects the partial-order reduction mode (default
+	// run.ReduceOff): run.ReduceSafe prunes schedule branches via sleep
+	// sets and process-symmetry canonicalization while preserving the
+	// verdict and the lexicographically least counterexample;
+	// run.ReduceAggressive additionally restricts branch points to
+	// persistent sets computed from the step machines' object footprints
+	// (verdict-preserving only, and requires the compiled form).
+	Reduce run.ReduceMode
 }
 
 // DefaultMaxExecutions bounds the enumeration when Config.MaxExecutions is 0.
@@ -126,6 +134,9 @@ type Outcome struct {
 	// Dedup holds the state-cache counters of a deduplicated engine run
 	// (nil when deduplication was off).
 	Dedup *dedup.Stats
+	// ReducePrunes is the number of sleep-blocked subtrees the partial-order
+	// reducer cut (engine runs only; zero with reduction off).
+	ReducePrunes int64
 }
 
 // OK reports that no violation was found.
@@ -246,6 +257,22 @@ func (cfg *Config) prepare() (kind fault.Kind, cap int, compiled bool, err error
 	if err != nil {
 		return 0, 0, false, err
 	}
+	if cfg.Reduce != run.ReduceOff {
+		if cfg.FixedPolicy != nil {
+			// The reducer's independence relation reasons about the
+			// checker's own fault branches (observable ∧ admitted); an
+			// opaque policy could fire faults the purity predicate does
+			// not see.
+			return 0, 0, false, fmt.Errorf("explore: partial-order reduction requires the checker's own fault policy, not FixedPolicy")
+		}
+		if cfg.Reduce == run.ReduceAggressive && !compiled {
+			return 0, 0, false, fmt.Errorf("explore: aggressive reduction needs object footprints from the compiled step machines; %s has no Stepper or the interpreted form was forced", cfg.Protocol.Name())
+		}
+		if len(cfg.Inputs) > 64 {
+			// The reducer's sleep and persistent sets are process bitmasks.
+			return 0, 0, false, fmt.Errorf("explore: partial-order reduction supports at most 64 processes, got %d", len(cfg.Inputs))
+		}
+	}
 	cap = cfg.MaxExecutions
 	if cap <= 0 {
 		cap = DefaultMaxExecutions
@@ -265,6 +292,7 @@ func ConfigFrom(s *run.Settings) Config {
 		MaxExecutions:   s.MaxExecutions,
 		StepLimit:       s.StepLimit,
 		Exec:            s.Exec,
+		Reduce:          s.Reduce,
 	}
 }
 
@@ -409,9 +437,25 @@ func Check(cfg Config) (*Outcome, error) {
 	for out.Executions < cap {
 		c.arity = c.arity[:0]
 		c.pos = 0
-		verdict, stats, _, err := es.runLeaf(context.Background())
+		verdict, stats, pruned, err := es.runLeaf(context.Background())
 		if err != nil {
 			return nil, err
+		}
+		if pruned {
+			// Sleep-blocked node (reduction): the whole subtree below the
+			// pruned prefix is covered below an earlier sibling. Backtrack
+			// past it without counting an execution.
+			if es.prunedAt <= c.lb {
+				out.Complete = true
+				return out, nil
+			}
+			c.path = c.path[:es.prunedAt]
+			c.arity = c.arity[:es.prunedAt]
+			if !c.next() {
+				out.Complete = true
+				return out, nil
+			}
+			continue
 		}
 		out.Executions++
 		if stats.maxSteps > out.MaxProcSteps {
@@ -450,6 +494,16 @@ type execState struct {
 	kind fault.Kind
 	c    *chooser
 	dh   *dedupHandle // nil without dedup
+	red  *reducer     // nil without partial-order reduction
+
+	// tracker is the single canonical-state observer of the replay,
+	// present whenever dedup or reduction is on (shared by both).
+	tracker *dedup.Tracker
+	// prunedAt records where the current replay halted early (-1 if it ran
+	// to its end): the dedup set claimed the state for a smaller path, or
+	// the reducer found the node sleep-blocked (pruneSleep tells which).
+	prunedAt   int
+	pruneSleep bool
 
 	budget   *fault.Budget
 	bank     *object.Bank
@@ -496,19 +550,33 @@ func newExecState(cfg Config, kind fault.Kind, compiled bool, c *chooser, dh *de
 	if limit <= 0 {
 		limit = cfg.Protocol.StepBound(len(cfg.Inputs))
 	}
-	var observer func(trace.Event)
 	if dh != nil {
-		observer = dh.tracker.Observe
+		es.tracker = dh.tracker
+	}
+	if cfg.Reduce != run.ReduceOff {
+		if es.tracker == nil {
+			es.tracker = dedup.NewTracker(cfg.Protocol.Objects(), cfg.Inputs, true)
+		}
+		es.red = newReducer(cfg.Reduce, kind, len(cfg.Inputs), es.tracker, es.budget)
+	}
+	var observer func(trace.Event)
+	if es.tracker != nil {
+		observer = es.tracker.Observe
 	}
 	if compiled {
 		stepper, ok := core.Compile(cfg.Protocol)
 		if !ok {
 			panic(fmt.Sprintf("explore: compiled execution of %s, which has no Stepper", cfg.Protocol.Name()))
 		}
+		prog := run.NewSteppedExec(stepper, es.bank, cfg.Inputs)
+		if es.red != nil {
+			es.red.pendingOf = prog.Pending
+			es.red.footprintOf = prog.Footprint
+		}
 		es.stepped = sim.NewStepped(len(cfg.Inputs))
 		es.steppedCfg = sim.SteppedConfig{
 			Procs:     len(cfg.Inputs),
-			Program:   run.NewSteppedExec(stepper, es.bank, cfg.Inputs),
+			Program:   prog,
 			Scheduler: sim.SchedulerFunc(es.schedNext),
 			StepLimit: limit,
 			Log:       es.log,
@@ -517,6 +585,9 @@ func newExecState(cfg Config, kind fault.Kind, compiled bool, c *chooser, dh *de
 		return es
 	}
 	es.arena = sim.NewArena(len(cfg.Inputs))
+	if es.red != nil {
+		es.red.pendingOf = es.arena.Pending
+	}
 	es.simCfg = sim.Config{
 		Programs:  run.BoundPrograms(cfg.Protocol, es.bank, cfg.Inputs, es.arena.Procs()),
 		Scheduler: sim.SchedulerFunc(es.schedNext),
@@ -527,18 +598,51 @@ func newExecState(cfg Config, kind fault.Kind, compiled bool, c *chooser, dh *de
 	return es
 }
 
-// schedNext is the replay scheduler: it consults the dedup set (when on)
-// before consuming each scheduling decision, then follows the choice path.
+// schedNext is the replay scheduler: it folds the previous step into the
+// reducer (when on), consults the dedup set (when on) before consuming each
+// scheduling decision, then follows the choice path through the branch
+// alternatives this node exposes — the enabled set, or the reducer's
+// filtered candidate set.
 func (es *execState) schedNext(enabled []int) (int, bool) {
 	c := es.c
-	if es.dh != nil && es.dh.set.Visit(es.dh.tracker.Fingerprint(), c.path[:c.pos]) == dedup.Prune {
-		es.dh.prunedAt = c.pos
+	if es.red != nil {
+		es.red.advance()
+	}
+	if es.dh != nil {
+		fp := es.tracker.Fingerprint()
+		if es.red != nil {
+			// Same state, different sleep set ⇒ different explored
+			// successors; only identical pairs may merge.
+			fp = es.red.salt(fp)
+		}
+		if es.dh.set.Visit(fp, c.path[:c.pos]) == dedup.Prune {
+			es.prunedAt = c.pos
+			es.pruneSleep = false
+			return 0, false
+		}
+	}
+	if es.red == nil {
+		pick := enabled[0]
+		if len(enabled) > 1 {
+			pick = enabled[c.choose(len(enabled))]
+		}
+		es.schedule = append(es.schedule, pick)
+		return pick, true
+	}
+	cand := es.red.candidates(enabled)
+	if len(cand) == 0 {
+		// Sleep-blocked: every continuation from this node is covered
+		// below an earlier sibling.
+		es.prunedAt = c.pos
+		es.pruneSleep = true
 		return 0, false
 	}
-	pick := enabled[0]
-	if len(enabled) > 1 {
-		pick = enabled[c.choose(len(enabled))]
+	idx := 0
+	if len(cand) > 1 {
+		idx = c.choose(len(cand))
 	}
+	pick := cand[idx]
+	es.red.chose(cand, idx)
 	es.schedule = append(es.schedule, pick)
 	return pick, true
 }
@@ -552,11 +656,12 @@ func (es *execState) close() {
 }
 
 // runLeaf replays one execution along the chooser's path, reusing the
-// execState's machinery. When dedup is on and the replay reaches a state
-// already claimed by a lexicographically smaller path, it halts early and
-// reports pruned=true (es.dh.prunedAt records where); the replay is then
-// neither evaluated nor counted — any violation visible in the halted
-// prefix also appears below the stored smaller path.
+// execState's machinery. When dedup or reduction is on and the replay
+// reaches a state already claimed by a lexicographically smaller path (or a
+// sleep-blocked node), it halts early and reports pruned=true (es.prunedAt
+// records where, es.pruneSleep which mechanism); the replay is then neither
+// evaluated nor counted — any violation visible in the halted prefix also
+// appears below a smaller path.
 //
 // The returned verdict borrows slices owned by the arena and the execState;
 // callers retaining a leaf (violations, trace samples) must go through
@@ -566,9 +671,12 @@ func (es *execState) runLeaf(ctx context.Context) (run.Verdict, runStats, bool, 
 	es.bank.Reset()
 	es.log.Reset()
 	es.schedule = es.schedule[:0]
-	if es.dh != nil {
-		es.dh.prunedAt = -1
-		es.dh.tracker.Reset()
+	es.prunedAt = -1
+	if es.tracker != nil {
+		es.tracker.Reset()
+	}
+	if es.red != nil {
+		es.red.reset()
 	}
 
 	var res *sim.Result
@@ -586,7 +694,7 @@ func (es *execState) runLeaf(ctx context.Context) (run.Verdict, runStats, bool, 
 		// truncated execution must not be evaluated as if it completed.
 		return run.Verdict{}, runStats{}, false, err
 	}
-	if es.dh != nil && es.dh.prunedAt >= 0 {
+	if es.prunedAt >= 0 {
 		return run.Verdict{}, runStats{}, true, nil
 	}
 

@@ -493,7 +493,6 @@ func (pr *ledgerProcess) runClaim(ctx context.Context, lease *ledger.Lease) (*cl
 	if pr.set != nil {
 		st := pr.set.Stats()
 		res.DedupHits = st.Hits - dedupBase.Hits
-		res.DedupSaved = st.ExecutionsSaved - dedupBase.ExecutionsSaved
 	}
 	switch err := l.Release(lease, res); {
 	case errors.Is(err, ledger.ErrFenced):

@@ -26,9 +26,14 @@ func ManifestFor(cfg Config, exhaustive, dedupOn bool) (store.Manifest, error) {
 	if err != nil {
 		return store.Manifest{}, err
 	}
+	reduce := ""
+	if cfg.Reduce != run.ReduceOff {
+		reduce = cfg.Reduce.String()
+	}
 	return store.Manifest{
 		Engine:          "explore.Engine",
 		Exec:            run.ExecLabel(compiled),
+		Reduce:          reduce,
 		Protocol:        cfg.Protocol.Name(),
 		Objects:         cfg.Protocol.Objects(),
 		Inputs:          cfg.Inputs,

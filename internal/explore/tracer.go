@@ -38,8 +38,25 @@ type Tracer struct {
 	samples    atomic.Int64 // passing executions captured
 	skipped    atomic.Int64 // violating executions beyond the capture cap
 
-	mu     sync.Mutex // serializes file writes
+	// Captures are written by one background goroutine: the exploration
+	// workers only clone the execution (which counterexample already did)
+	// and enqueue it, so file creation and JSON encoding overlap with
+	// replays instead of stalling them. Close drains the queue before
+	// sealing the spans, so every enqueued capture is durable when Close
+	// returns. The first write error is sticky: later captures and Close
+	// report it (the queue keeps draining without writing).
+	work chan captureJob
+	done chan struct{}
+	werr atomic.Pointer[error]
+
+	mu     sync.Mutex // guards closed (capture enqueue vs Close)
 	closed bool
+}
+
+// captureJob is one queued trace artifact pair (trace/v1 + Perfetto).
+type captureJob struct {
+	base string
+	x    *export.Execution
 }
 
 // MaxViolationCaptures bounds how many violating executions one Tracer
@@ -67,6 +84,8 @@ func NewTracer(dir string, sampleN int, runMeta map[string]string) (*Tracer, err
 		sampleN: int64(sampleN),
 		runMeta: runMeta,
 		rec:     trace.NewRecorder(0),
+		work:    make(chan captureJob, 64),
+		done:    make(chan struct{}),
 	}
 	// Continue numbering past whatever is already there.
 	entries, err := os.ReadDir(dir)
@@ -80,7 +99,36 @@ func NewTracer(dir string, sampleN int, runMeta map[string]string) (*Tracer, err
 			}
 		}
 	}
+	go t.writeLoop()
 	return t, nil
+}
+
+// writeLoop is the single capture writer: it drains the queue, writing each
+// capture as a trace/v1 file plus its Perfetto rendering. After a write
+// error it keeps draining (so enqueuers never block on a dead tracer) but
+// writes nothing further; the error surfaces on the next capture and Close.
+func (t *Tracer) writeLoop() {
+	defer close(t.done)
+	for job := range t.work {
+		if t.werr.Load() != nil {
+			continue
+		}
+		if err := export.WriteExecution(filepath.Join(t.dir, job.base+".jsonl"), job.x); err != nil {
+			t.werr.CompareAndSwap(nil, &err)
+			continue
+		}
+		if err := export.WritePerfetto(filepath.Join(t.dir, job.base+".perfetto.json"), job.x); err != nil {
+			t.werr.CompareAndSwap(nil, &err)
+		}
+	}
+}
+
+// err returns the sticky first write error of the background writer.
+func (t *Tracer) err() error {
+	if p := t.werr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Dir returns the trace directory.
@@ -149,14 +197,15 @@ func (t *Tracer) capture(kind string, worker int, path []int, ce *Counterexample
 	if t.closed {
 		return fmt.Errorf("explore: capture after tracer close")
 	}
-	if err := export.WriteExecution(filepath.Join(t.dir, base+".jsonl"), x); err != nil {
-		return err
-	}
-	return export.WritePerfetto(filepath.Join(t.dir, base+".perfetto.json"), x)
+	// A full queue blocks here (bounded memory); the writer never takes
+	// t.mu, so it keeps draining and the send always completes.
+	t.work <- captureJob{base: base, x: x}
+	return t.err()
 }
 
-// Close seals the run's wall-clock spans into spans-NNNNNN.jsonl (plus its
-// Perfetto rendering) and refuses further captures. Close is idempotent.
+// Close drains the capture queue, seals the run's wall-clock spans into
+// spans-NNNNNN.jsonl (plus its Perfetto rendering), and refuses further
+// captures. Close is idempotent.
 func (t *Tracer) Close() error {
 	if t == nil {
 		return nil
@@ -167,6 +216,11 @@ func (t *Tracer) Close() error {
 		return nil
 	}
 	t.closed = true
+	close(t.work)
+	<-t.done
+	if err := t.err(); err != nil {
+		return err
+	}
 	spans := t.rec.Spans()
 	if len(spans) == 0 {
 		return nil

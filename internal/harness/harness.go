@@ -48,6 +48,12 @@ type Options struct {
 	// simulator, or auto (compiled when the protocol provides a Stepper).
 	// Tables are identical across forms; only throughput changes.
 	Exec run.ExecMode
+	// Reduce applies partial-order reduction to every exhaustive
+	// exploration driven by the checker's own fault policy (fixed-policy
+	// rows run unreduced — the reducer reasons about the checker's fault
+	// branches). Verdicts and counterexamples are unchanged in the default
+	// safe mode; printed execution counts shrink.
+	Reduce run.ReduceMode
 }
 
 // NewOptions derives experiment options from the unified run.With... options
@@ -57,7 +63,8 @@ func NewOptions(opts ...run.Option) Options {
 	s := run.NewSettings(opts...)
 	return Options{Quick: s.Quick, Seed: s.Seed, Workers: s.Workers,
 		Metrics: s.Metrics, Events: s.Events,
-		TraceDir: s.TraceDir, TraceSample: s.TraceSample, Exec: s.Exec}
+		TraceDir: s.TraceDir, TraceSample: s.TraceSample,
+		Exec: s.Exec, Reduce: s.Reduce}
 }
 
 // engine bundles the options every engine-driven exploration inside an
@@ -72,6 +79,7 @@ func (o Options) engine() run.Option {
 		s.TraceDir = o.TraceDir
 		s.TraceSample = o.TraceSample
 		s.Exec = o.Exec
+		s.Reduce = o.Reduce
 	}
 }
 

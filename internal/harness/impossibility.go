@@ -52,7 +52,13 @@ func runE4(w io.Writer, opts Options) error {
 		// The whole sweep runs on the parallel engine through the unified
 		// options API; the reported counterexamples are canonical
 		// (lexicographically least), so the table is identical for any
-		// worker count.
+		// worker count. The reduced-model rows drive a fixed fault policy,
+		// which the partial-order reducer cannot reason about, so they run
+		// unreduced whatever Options.Reduce says.
+		reduce := opts.Reduce
+		if r.policy != nil {
+			reduce = run.ReduceOff
+		}
 		out, err := explore.CheckWith(context.Background(),
 			run.WithProtocol(r.proto),
 			run.WithDistinctInputs(r.n),
@@ -60,6 +66,7 @@ func runE4(w io.Writer, opts Options) error {
 			run.WithPolicy(r.policy),
 			run.WithMaxExecutions(cap),
 			opts.engine(),
+			run.WithReduce(reduce),
 		)
 		if err != nil {
 			return err

@@ -140,11 +140,10 @@ type Result struct {
 	HasBest  bool  `json:"has_best,omitempty"`
 	BestPath []int `json:"best_path,omitempty"`
 	BestLen  int   `json:"best_len,omitempty"`
-	// Dedup digest: how much the claimer's state-dedup cache pruned while
-	// running this claim (advisory; merged counts are "modulo dedup").
-	DedupHits  int64 `json:"dedup_hits,omitempty"`
-	DedupSaved int64 `json:"dedup_saved,omitempty"`
-	ElapsedNS  int64 `json:"elapsed_ns"`
+	// Dedup digest: how many replays the claimer's state-dedup cache pruned
+	// while running this claim (advisory; merged counts are "modulo dedup").
+	DedupHits int64 `json:"dedup_hits,omitempty"`
+	ElapsedNS int64 `json:"elapsed_ns"`
 }
 
 // marker is the ledger's identity record, created exactly once per run

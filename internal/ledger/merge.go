@@ -31,7 +31,6 @@ type Merged struct {
 	Results      int      `json:"results"`      // live result records folded
 	Reclaims     int64    `json:"reclaims"`     // superseded results excluded
 	DedupHits    int64    `json:"dedup_hits,omitempty"`
-	DedupSaved   int64    `json:"dedup_saved,omitempty"`
 	// ElapsedNS is the longest single claim (a lower bound on wall clock);
 	// TotalWorkNS sums every claim's elapsed time (the fleet's CPU spend).
 	ElapsedNS   int64 `json:"elapsed_ns"`
@@ -133,7 +132,6 @@ func Merge(runDir string, exhaustive bool) (*Merged, error) {
 		}
 		m.Capped = m.Capped || r.Capped
 		m.DedupHits += r.DedupHits
-		m.DedupSaved += r.DedupSaved
 		if r.ElapsedNS > m.ElapsedNS {
 			m.ElapsedNS = r.ElapsedNS
 		}

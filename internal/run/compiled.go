@@ -110,6 +110,20 @@ func NewSteppedExec(stepper core.Stepper, bank *object.Bank, inputs []int64) *St
 // Begin implements sim.SteppedProgram.
 func (x *SteppedExec) Begin(id int) { x.states[id] = x.stepper.Begin(x.inputs[id]) }
 
+// Pending reports process id's next CAS as a sim.PendingOp — the same
+// metadata the goroutine form publishes via Proc.ExecCAS, recomputed from
+// the machine state. Always Known: every compiled step is a declared CAS.
+func (x *SteppedExec) Pending(id int) sim.PendingOp {
+	obj, exp, new := x.stepper.Pending(&x.states[id])
+	return sim.PendingOp{Known: true, Obj: obj, Exp: exp, New: new}
+}
+
+// Footprint reports the object interval process id's remaining execution
+// may touch (core.Stepper.Footprint on its current state).
+func (x *SteppedExec) Footprint(id int) (lo, hi int) {
+	return x.stepper.Footprint(&x.states[id])
+}
+
 // Step implements sim.SteppedProgram: one Stepper step against the bank.
 // A nonresponsive fault surfaces as a stalled outcome, exactly like
 // object.CAS.Invoke stalling the goroutine-gated process; whatever the

@@ -32,6 +32,12 @@ func MetaFromSettings(s *Settings) map[string]string {
 	if s.Kind == fault.None {
 		m["fault"] = fault.Overriding.String()
 	}
+	if s.Reduce != ReduceOff {
+		// Recorded only when reduction is on: artifacts from before the
+		// reducer existed carry no key and keep meaning "off", so their
+		// hashes and replays are unchanged.
+		m["reduce"] = s.Reduce.String()
+	}
 	if s.FaultsPerObject == fault.Unbounded {
 		m["t"] = "0"
 	}
@@ -160,6 +166,13 @@ func SettingsFromMeta(meta map[string]string, inputs []int64) (*Settings, error)
 			mode = ExecInterpreted // "auto" is never recorded; be strict
 		}
 		opts = append(opts, WithExecMode(mode))
+	}
+	if v := meta["reduce"]; v != "" {
+		mode, err := ParseReduceMode(v)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithReduce(mode))
 	}
 	return NewSettings(opts...), nil
 }

@@ -51,6 +51,9 @@ type Settings struct {
 	// goroutine-gated reference simulator (default ExecAuto — compiled
 	// whenever the protocol provides a core.Stepper).
 	Exec ExecMode
+	// Reduce selects the partial-order reduction mode for exploration
+	// drivers (default ReduceOff).
+	Reduce ReduceMode
 	// MaxExecutions caps an exploration (0 means the explorer's default).
 	MaxExecutions int
 	// Workers is the exploration parallelism (0 means GOMAXPROCS).
@@ -194,6 +197,9 @@ func WithCompiled(compiled bool) Option {
 
 // WithExecMode sets the execution form directly (flag plumbing).
 func WithExecMode(m ExecMode) Option { return func(s *Settings) { s.Exec = m } }
+
+// WithReduce sets the exploration engine's partial-order reduction mode.
+func WithReduce(m ReduceMode) Option { return func(s *Settings) { s.Reduce = m } }
 
 // WithMaxExecutions caps an exploration.
 func WithMaxExecutions(n int) Option { return func(s *Settings) { s.MaxExecutions = n } }

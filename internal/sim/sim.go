@@ -161,11 +161,38 @@ type Proc struct {
 // ID returns the process id (its index in Config.Programs).
 func (p *Proc) ID() int { return p.id }
 
+// PendingOp describes the shared-memory operation a parked process will
+// perform on its next grant. Known is false for operations that did not
+// declare themselves (plain Exec callers: registers, test programs) — the
+// partial-order reducer must then treat the step as potentially conflicting
+// with everything.
+type PendingOp struct {
+	Known bool
+	Obj   int
+	Exp   word.Word
+	New   word.Word
+}
+
 // Exec performs one atomic step: it parks until the scheduler grants this
 // process the next step, runs op, and returns. op runs while the process
 // exclusively holds the step token, so it may freely touch shared objects.
 func (p *Proc) Exec(op func()) {
 	a := p.a
+	a.pending[p.id] = PendingOp{}
+	a.events <- procEvent{id: p.id, kind: evParked}
+	if g := <-a.grant[p.id]; g.abort {
+		panic(abortSignal{})
+	}
+	op()
+}
+
+// ExecCAS is Exec for a CAS step: identical gating, but the object index and
+// CAS arguments are published as the process's PendingOp before it parks
+// (the park event's channel send orders the write before any runner read),
+// so the scheduler can compute step independence without granting the step.
+func (p *Proc) ExecCAS(obj int, exp, new word.Word, op func()) {
+	a := p.a
+	a.pending[p.id] = PendingOp{Known: true, Obj: obj, Exp: exp, New: new}
 	a.events <- procEvent{id: p.id, kind: evParked}
 	if g := <-a.grant[p.id]; g.abort {
 		panic(abortSignal{})
@@ -205,6 +232,7 @@ type Arena struct {
 	steps     []int
 	stalled   []bool
 	parked    []bool
+	pending   []PendingOp
 	enabled   []int
 	early     []int
 	liveCount int // processes neither finished nor stalled nor panicked
@@ -230,6 +258,7 @@ func NewArena(n int) *Arena {
 		steps:     make([]int, n),
 		stalled:   make([]bool, n),
 		parked:    make([]bool, n),
+		pending:   make([]PendingOp, n),
 		enabled:   make([]int, 0, n),
 		early:     make([]int, 0, n),
 	}
@@ -246,6 +275,12 @@ func NewArena(n int) *Arena {
 // They are the handles every Run passes to its programs, so environments
 // bound to them (run.BoundPrograms) stay valid across runs.
 func (a *Arena) Procs() []*Proc { return a.procs }
+
+// Pending returns the declared next operation of process id. It is
+// meaningful only while the process is parked (the ids a Scheduler.Next call
+// received as enabled); at any other moment it may describe a step already
+// taken.
+func (a *Arena) Pending(id int) PendingOp { return a.pending[id] }
 
 // Close releases the arena's process goroutines. The arena must be idle (no
 // Run in progress). Close is idempotent.
@@ -329,6 +364,7 @@ func (a *Arena) Run(ctx context.Context, cfg Config) (*Result, error) {
 		a.steps[i] = 0
 		a.stalled[i] = false
 		a.parked[i] = false
+		a.pending[i] = PendingOp{}
 	}
 	a.liveCount = a.n
 	a.early = a.early[:0]

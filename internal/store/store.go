@@ -60,6 +60,13 @@ type Manifest struct {
 	// checkpoint is a claim about what a specific engine explored, so a
 	// resume must re-run the engine that made the claim.
 	Exec string `json:"exec,omitempty"`
+	// Reduce is the partial-order reduction mode ("on" or "aggressive";
+	// empty means off). It is hashed when set: reduced choice paths are
+	// coordinates in a reduced tree, so a checkpointed frontier or a ledger
+	// task is only meaningful to an engine running the same reduction. The
+	// empty/off value contributes nothing to the hash, so run directories
+	// from before reduction existed still verify.
+	Reduce string `json:"reduce,omitempty"`
 
 	// Advisory (not hashed): tuning that does not change the verdict.
 	MaxExecutions int  `json:"max_executions"`
@@ -89,6 +96,9 @@ func (m *Manifest) Hash() string {
 		m.FormatVersion, m.Protocol, m.Objects, m.Inputs,
 		m.FaultyObjects, m.FaultsPerObject, m.Kind, m.StepLimit, m.Exhaustive,
 		m.Exec)
+	if m.Reduce != "" && m.Reduce != "off" {
+		fmt.Fprintf(h, "|reduce=%s", m.Reduce)
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

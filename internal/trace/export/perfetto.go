@@ -139,8 +139,9 @@ func Perfetto(w io.Writer, x *Execution) error {
 		})
 	}
 
+	// Compact encoding: Perfetto parses it the same, the files are ~40%
+	// smaller, and capture writes stay off the exploration's critical path.
 	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
 	if err := enc.Encode(&f); err != nil {
 		return fmt.Errorf("export: perfetto: %w", err)
 	}

@@ -2,13 +2,15 @@
 # Machine-readable benchmark results for the exploration engine.
 #
 # Runs the engine benchmarks (covering-sweep throughput across worker
-# counts, the sequential baseline, and the state-dedup sweep) and renders
-# the standard `go test -bench` output as BENCH_explore.json: ns/op,
-# states-per-second throughput, executions per verification, and the dedup
-# hit rate (hits over per-replay leaf lookups), plus derived summaries: the
-# dedup states-explored reduction and a "scaling" block giving ns/op at
-# workers=1/2/4/8 with the workers=8 speedup and parallel efficiency
-# (speedup / 8). On a single-core box the honest efficiency ceiling is
+# counts, the sequential baseline, the state-dedup sweep, and the
+# partial-order-reduction sweep) and renders the standard `go test -bench`
+# output as BENCH_explore.json: ns/op, states-per-second throughput,
+# executions per verification, and the dedup hit rate (hits over per-replay
+# leaf lookups), plus derived summaries: the dedup states-explored
+# reduction, the "por_reduction" executions factor of reduce=on over the
+# dedup-only baseline (gated at ≥ 3x by scripts/check.sh), and a "scaling"
+# block giving ns/op at workers=1/2/4/8 with the workers=8 speedup and
+# parallel efficiency (speedup / 8). On a single-core box the honest efficiency ceiling is
 # 1/8 = 0.125; the block exists so the trajectory shows whether adding
 # workers ever makes the same slab SLOWER (the negative-scaling bug).
 #
@@ -75,7 +77,7 @@ RUNDIR="$(mktemp -d)"
 trap 'rm -rf "$RAW" "$RAW_TRACE" "$RAW_FORM" "$BENCH_JSON" "$OVERHEAD" "$SPEEDUP" "$REPORT" "$RUNDIR"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkEngineCoveringSweep|BenchmarkSequentialCoveringSweep|BenchmarkEngineDedupSweep' \
+	-bench 'BenchmarkEngineCoveringSweep|BenchmarkSequentialCoveringSweep|BenchmarkEngineDedupSweep|BenchmarkEngineReduceSweep' \
 	-benchtime "$BENCHTIME" ./internal/explore/ | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
@@ -101,6 +103,12 @@ awk -v benchtime="$BENCHTIME" '
 			if (name ~ /dedup=false/ && unit == "executions") plain = val
 			if (name ~ /dedup=true/ && unit == "executions") dedup = val
 		}
+		if (name ~ /^EngineReduceSweep/) {
+			if (name ~ /reduce=off/ && unit == "executions") roff = val
+			if (name ~ /reduce=off/ && unit == "ns/op") roffns = val
+			if (name ~ /reduce=on/ && unit == "executions") ron = val
+			if (name ~ /reduce=on/ && unit == "ns/op") ronns = val
+		}
 		if (unit == "ns/op" && name ~ /^EngineCoveringSweep\/workers=/) {
 			w = name
 			sub(/^EngineCoveringSweep\/workers=/, "", w)
@@ -118,14 +126,18 @@ END {
 	print "  \"benchtime\": \"" benchtime "\","
 	print "  \"benchmarks\": ["
 	for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "")
-	print "  ]" (((ns[1] && ns[8]) || (plain && dedup)) ? "," : "")
+	print "  ]" (((ns[1] && ns[8]) || (plain && dedup) || (roff && ron)) ? "," : "")
 	if (ns[1] && ns[8]) {
 		printf "  \"scaling\": {\"ns_per_op_workers_1\": %.0f, \"ns_per_op_workers_2\": %.0f, \"ns_per_op_workers_4\": %.0f, \"ns_per_op_workers_8\": %.0f, \"speedup_workers_8\": %.4f, \"parallel_efficiency\": %.4f}%s\n", \
-			ns[1], ns[2], ns[4], ns[8], ns[1] / ns[8], ns[1] / ns[8] / 8, (plain && dedup ? "," : "")
+			ns[1], ns[2], ns[4], ns[8], ns[1] / ns[8], ns[1] / ns[8] / 8, (((plain && dedup) || (roff && ron)) ? "," : "")
 	}
 	if (plain && dedup) {
-		printf "  \"dedup_reduction\": {\"plain_executions\": %d, \"dedup_executions\": %d, \"executions_saved_fraction\": %.4f}\n", \
-			plain, dedup, (plain - dedup) / plain
+		printf "  \"dedup_reduction\": {\"plain_executions\": %d, \"dedup_executions\": %d, \"executions_saved_fraction\": %.4f}%s\n", \
+			plain, dedup, (plain - dedup) / plain, ((roff && ron) ? "," : "")
+	}
+	if (roff && ron) {
+		printf "  \"por_reduction\": {\"dedup_only_executions\": %d, \"reduced_executions\": %d, \"executions_reduction_factor\": %.4f, \"floor\": 3.0, \"dedup_only_ns_per_op\": %.0f, \"reduced_ns_per_op\": %.0f}\n", \
+			roff, ron, roff / ron, roffns, ronns
 	}
 	print "}"
 }
